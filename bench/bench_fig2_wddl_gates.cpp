@@ -1,0 +1,70 @@
+// Fig 2: the WDDL compound gate construction (AOI32 example) and the
+// compound-cell inventory (the paper's library contains 128 cells).
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+#include "liberty/builtin_lib.h"
+#include "wddl/wddl_library.h"
+
+using namespace secflow;
+
+int main() {
+  auto lib = builtin_stdcell018();
+  WddlLibrary wlib(lib);
+
+  bench::header("Fig 2", "WDDL compound gates from the static CMOS library");
+
+  // The paper's example: AOI32 = !((A0&A1&A2)|(B0&B1)).
+  const WddlCompound& aoi = wlib.compound_for_cell(lib->cell("AOI32"), 0);
+  const std::vector<std::string> pins = {"A0", "A1", "A2", "B0", "B1"};
+  auto sop_text = [&](const std::vector<Cube>& sop) {
+    std::string out;
+    for (const Cube& c : sop) {
+      if (!out.empty()) out += " + ";
+      for (int i = 0; i < 5; ++i) {
+        if (!((c.mask >> i) & 1u)) continue;
+        out += ((c.value >> i) & 1u) ? pins[static_cast<std::size_t>(i)] + "_t"
+                                     : pins[static_cast<std::size_t>(i)] + "_f";
+        out += ' ';
+      }
+    }
+    return out;
+  };
+  bench::row("AOI32 single-ended: area %.2f um^2, Y = !((A0&A1&A2)|(B0&B1))",
+             lib->cell("AOI32").area_um2);
+  bench::row("WDDL AOI32 compound '%s': area %.2f um^2 (%.2fx)",
+             aoi.name.c_str(), aoi.area_um2,
+             aoi.area_um2 / lib->cell("AOI32").area_um2);
+  bench::row("  true  half (%zu cubes): Y_t = %s", aoi.true_sop.size(),
+             sop_text(aoi.true_sop).c_str());
+  bench::row("  false half (%zu cubes): Y_f = %s   <- Fig 2's AND-AND-OR",
+             aoi.false_sop.size(), sop_text(aoi.false_sop).c_str());
+  std::vector<std::pair<std::string, int>> prim(aoi.primitives.begin(),
+                                                aoi.primitives.end());
+  std::sort(prim.begin(), prim.end());
+  for (const auto& [cell, count] : prim) {
+    bench::row("  primitive %-6s x%d", cell.c_str(), count);
+  }
+
+  // Full inventory.
+  const int n = wlib.generate_full_inventory();
+  bench::blank();
+  bench::row("compound inventory (base cells x input-phase variants,");
+  bench::row("deduplicated by function): %d cells   [paper: 128]", n);
+
+  // Per-base-cell area overhead table.
+  bench::blank();
+  bench::row("%-8s %10s %12s %8s", "cell", "CMOS um^2", "WDDL um^2", "ratio");
+  for (const char* name : {"NAND2", "NOR2", "AND2", "OR2", "XOR2", "AOI21",
+                           "AOI32", "OAI22", "MUX2"}) {
+    const CellType& c = lib->cell(name);
+    const WddlCompound& w = wlib.compound_for_cell(c, 0);
+    bench::row("%-8s %10.2f %12.2f %7.2fx", name, c.area_um2, w.area_um2,
+               w.area_um2 / c.area_um2);
+  }
+  const WddlCompound& ff = wlib.flop_compound(false);
+  bench::row("%-8s %10.2f %12.2f %7.2fx", "DFF", lib->cell("DFF").area_um2,
+             ff.area_um2, ff.area_um2 / lib->cell("DFF").area_um2);
+  return 0;
+}

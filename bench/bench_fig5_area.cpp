@@ -1,0 +1,34 @@
+// Fig 5: layouts of the paper's design example through the regular and
+// secure flows, with the area comparison (paper: 3782 vs 12880 um^2).
+#include "bench_util.h"
+#include "netlist/netlist_ops.h"
+#include "pnr/render.h"
+
+using namespace secflow;
+
+int main() {
+  bench::DesDesigns d = bench::build_des_designs();
+
+  bench::header("Fig 5", "layout area: regular vs secure flow");
+  bench::row("%-24s %14s %14s", "", "regular flow", "secure flow");
+  bench::row("%-24s %14zu %14zu", "logic cells",
+             d.regular.rtl.n_instances(), d.secure.diff.n_instances());
+  bench::row("%-24s %14.0f %14.0f", "cell area [um^2]",
+             d.regular.rtl.total_area_um2(), d.secure.diff.total_area_um2());
+  bench::row("%-24s %14.0f %14.0f", "die area [um^2]",
+             d.regular.die_area_um2(), d.secure.die_area_um2());
+  bench::row("%-24s %14s %14.2f", "area ratio", "1.00x",
+             d.secure.die_area_um2() / d.regular.die_area_um2());
+  bench::row("%-24s %14s %14s", "paper [um^2]", "3782", "12880 (3.41x)");
+  bench::row("%-24s %14.0f %14.0f", "wirelength [um]",
+             dbu_to_um(d.regular.def.total_wirelength()),
+             dbu_to_um(d.secure.diff_def.total_wirelength()));
+
+  bench::row("\n--- regular flow layout ---");
+  RenderOptions ro;
+  ro.max_cols = 80;
+  std::fputs(render_design(d.regular.def, ro).c_str(), stdout);
+  bench::row("--- secure flow layout (differential, after decomposition) ---");
+  std::fputs(render_design(d.secure.diff_def, ro).c_str(), stdout);
+  return 0;
+}

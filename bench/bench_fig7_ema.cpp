@@ -1,0 +1,31 @@
+// Fig 7 / section 4.2: EMA feasibility.  The probe must distinguish which
+// of two rails 1 um apart carried the charge, from 1-10 mm away.  The
+// table reports the differential pair's field suppression relative to a
+// single wire and the extra measurement precision an EMA needs.
+#include "bench_util.h"
+#include "sca/ema.h"
+
+using namespace secflow;
+
+int main() {
+  bench::header("Fig 7", "EMA measurement geometry (1 um pair, mm probe)");
+  bench::row("%-12s %-12s %16s %16s %12s", "length[um]", "probe[mm]",
+             "single field", "pair field", "extra bits");
+  for (double length : {10.0, 100.0}) {
+    for (double dist : {1.0, 3.0, 10.0}) {
+      EmaGeometry g;
+      g.wire_length_um = length;
+      g.probe_distance_mm = dist;
+      const EmaFigures f = ema_far_field(g);
+      bench::row("%-12.0f %-12.0f %16.3e %16.3e %12.1f", length, dist,
+                 f.single_wire_field, f.differential_pair_field,
+                 ema_extra_precision_bits(g));
+    }
+  }
+  bench::blank();
+  bench::row("reading: even at 1 mm the pair field is ~500x below a single");
+  bench::row("wire (9+ bits of extra precision), and many cells broadcast");
+  bench::row("simultaneously — matching the paper's argument that no");
+  bench::row("published EMA setup resolves individual WDDL rails.");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Section 2.2: "These [gridless] tools are unable to route 20K+
+// differential pairs as an encryption algorithm requires."  The fat-wire
+// method turns differential-pair routing into ordinary gridded routing, so
+// throughput scales like a normal router.  This bench measures fat-route +
+// decomposition throughput against design size (differential pair count).
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.h"
+#include "crypto/des.h"
+#include "flow/flow.h"
+#include "lef/lef.h"
+#include "liberty/builtin_lib.h"
+#include "pnr/decompose.h"
+#include "pnr/place.h"
+#include "pnr/route.h"
+#include "synth/techmap.h"
+#include "wddl/cell_substitution.h"
+
+namespace {
+
+using namespace secflow;
+
+struct FatDesign {
+  std::shared_ptr<WddlLibrary> wlib;
+  Netlist fat;
+  LefLibrary fat_lef;
+  DefDesign placed;
+};
+
+FatDesign make_fat(int n_boxes) {
+  auto lib = builtin_stdcell018();
+  Netlist rtl = technology_map(make_aes_sbox_array(n_boxes), lib,
+                               wddl_synth_constraints());
+  auto wlib = std::make_shared<WddlLibrary>(lib);
+  SubstitutionResult sub = substitute_cells(rtl, *wlib);
+  LefGenOptions fat_gen;
+  fat_gen.wire_scale = 2.0;
+  LefLibrary fat_lef = generate_lef(*wlib->fat_library(), fat_gen);
+  PlaceOptions popts;
+  popts.sa_moves_per_instance = 4;  // scale sweep: cheap placement
+  DefDesign placed = place_design(sub.fat, fat_lef, popts);
+  return FatDesign{wlib, std::move(sub.fat), std::move(fat_lef),
+                   std::move(placed)};
+}
+
+/// Fat L-routing + decomposition across design sizes (differential pairs =
+/// fat nets).  The maze router is exercised separately at small scale.
+void BM_FatRouteAndDecompose(benchmark::State& state) {
+  const FatDesign d = make_fat(static_cast<int>(state.range(0)));
+  const Process018 pr;
+  std::int64_t pairs = 0;
+  for (auto _ : state) {
+    DefDesign def = d.placed;
+    route_design_quick(d.fat, d.fat_lef, def);
+    DefDesign diff = decompose_interconnect(
+        def, um_to_dbu(pr.wire_pitch_um), um_to_dbu(pr.wire_width_um));
+    pairs = static_cast<std::int64_t>(def.nets.size());
+    benchmark::DoNotOptimize(diff.nets.size());
+  }
+  state.counters["diff_pairs"] = static_cast<double>(pairs);
+}
+BENCHMARK(BM_FatRouteAndDecompose)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+
+/// Conflict-free maze routing at module scale (the DES design example).
+void BM_MazeRouteDesModule(benchmark::State& state) {
+  auto lib = builtin_stdcell018();
+  Netlist rtl = technology_map(make_des_dpa_circuit(), lib,
+                               wddl_synth_constraints());
+  auto wlib = std::make_shared<WddlLibrary>(lib);
+  SubstitutionResult sub = substitute_cells(rtl, *wlib);
+  LefGenOptions fat_gen;
+  fat_gen.wire_scale = 2.0;
+  LefLibrary fat_lef = generate_lef(*wlib->fat_library(), fat_gen);
+  const DefDesign placed = place_design(sub.fat, fat_lef);
+  for (auto _ : state) {
+    DefDesign def = placed;
+    const RouteStats rs = route_design(sub.fat, fat_lef, def);
+    benchmark::DoNotOptimize(rs.wirelength_dbu);
+    state.counters["pairs"] = static_cast<double>(rs.nets_routed);
+    state.counters["iterations"] = rs.iterations;
+  }
+}
+BENCHMARK(BM_MazeRouteDesModule)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Section 4.3: DFA countermeasure.  A clock-glitch attack shortens the
+// period so the evaluation wave cannot reach the registers; WDDL's
+// redundant encoding detects it — a register rail pair still (0,0) at the
+// capture edge raises the alarm.  We sweep the glitched period and report
+// the alarm behaviour across the boundary.
+#include "base/rng.h"
+#include "bench_util.h"
+#include "sca/dfa.h"
+#include "sim/power_sim.h"
+
+using namespace secflow;
+
+namespace {
+
+void drive(PowerSimulator& sim, std::uint32_t pl, std::uint32_t pr,
+           std::uint32_t k) {
+  auto rails = [&](const std::string& base, int width, std::uint32_t v) {
+    for (int b = 0; b < width; ++b) {
+      sim.set_input(base + "_" + std::to_string(b) + "_t", (v >> b) & 1);
+      sim.set_input(base + "_" + std::to_string(b) + "_f", !((v >> b) & 1));
+    }
+  };
+  rails("pl", 4, pl);
+  rails("pr", 6, pr);
+  rails("k", 6, k);
+}
+
+}  // namespace
+
+int main() {
+  bench::DesDesigns d = bench::build_des_designs();
+  const DfaMonitor monitor(d.secure.diff);
+
+  bench::header("Sec 4.3",
+                "DFA clock-glitch detection via redundant encoding");
+  bench::row("monitored WDDL registers: %d", monitor.n_monitored_registers());
+  bench::row("%-14s %10s %14s", "period [ps]", "alarms", "verdict");
+
+  Rng rng(31);
+  double detect_from = -1.0, clean_from = -1.0;
+  for (double period : {400.0, 800.0, 1200.0, 1600.0, 2000.0, 2400.0, 2800.0,
+                        3200.0, 4800.0, 8000.0}) {
+    PowerSimOptions opts;
+    opts.precharge_inputs = true;
+    PowerSimulator sim(d.secure.diff, d.secure.caps, opts);
+    // Two normal cycles establish valid state, then the glitched cycle.
+    drive(sim, 5, 21, 46);
+    sim.run_cycle();
+    drive(sim, static_cast<std::uint32_t>(rng.next_below(16)),
+          static_cast<std::uint32_t>(rng.next_below(64)), 46);
+    sim.run_cycle();
+    drive(sim, static_cast<std::uint32_t>(rng.next_below(16)),
+          static_cast<std::uint32_t>(rng.next_below(64)), 46);
+    sim.run_cycle(period);
+    const auto alarms = monitor.check(sim);
+    bench::row("%-14.0f %10zu %14s", period, alarms.size(),
+               alarms.empty() ? "ok" : "ALARM");
+    if (!alarms.empty()) detect_from = period;
+    if (alarms.empty() && clean_from < 0) clean_from = period;
+  }
+  bench::blank();
+  bench::row("glitches at or below %.0f ps are detected; the nominal", detect_from);
+  bench::row("8000 ps cycle (and any period past the critical path) is clean.");
+  bench::row("A regular CMOS design has no such invalid state to detect:");
+  bench::row("a glitched capture silently latches a wrong-but-valid value.");
+  return 0;
+}

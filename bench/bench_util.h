@@ -1,0 +1,46 @@
+// Shared helpers for the reproduction benches: consistent table printing
+// and the standard flow setup used across experiments.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "crypto/des.h"
+#include "flow/flow.h"
+#include "liberty/builtin_lib.h"
+
+namespace secflow::bench {
+
+inline void header(const std::string& id, const std::string& title) {
+  std::printf("\n==== %s: %s ====\n", id.c_str(), title.c_str());
+}
+
+inline void row(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void blank() { std::printf("\n"); }
+
+/// The paper's design example through both flows (deterministic).
+struct DesDesigns {
+  std::shared_ptr<const CellLibrary> lib;
+  RegularFlowResult regular;
+  SecureFlowResult secure;
+};
+
+inline DesDesigns build_des_designs() {
+  auto lib = builtin_stdcell018();
+  const AigCircuit circuit = make_des_dpa_circuit();
+  FlowOptions opts;
+  return DesDesigns{lib, run_regular_flow(circuit, lib, opts),
+                    run_secure_flow(circuit, lib, opts)};
+}
+
+}  // namespace secflow::bench

@@ -1,0 +1,77 @@
+// The flow is algorithm-agnostic (the paper's "major advantage ... that it
+// is independent of the cryptographic algorithm or arithmetic
+// implemented"): push a home-grown toy cipher through the same secure flow
+// without touching any security-specific knob, then confirm the layout's
+// rails are matched and the energy signature is flat.
+//
+//   $ ./custom_cipher
+#include <cstdio>
+
+#include "base/rng.h"
+#include "flow/flow.h"
+#include "liberty/builtin_lib.h"
+#include "sim/power_sim.h"
+#include "synth/hdl.h"
+
+using namespace secflow;
+
+int main() {
+  // A toy 8-bit substitution-permutation round, written like any other RTL.
+  const AigCircuit circuit = parse_hdl(R"(
+    module toy_spn (input clk, input [7:0] pt, input [7:0] k, output [7:0] ct);
+      wire [7:0] keyed;
+      assign keyed = pt ^ k;
+      // A 4-bit "S-box" applied twice (y = ~x rotated), then a swap.
+      wire [7:0] subbed;
+      assign subbed[0] = ~keyed[1];
+      assign subbed[1] = keyed[2] ^ keyed[0];
+      assign subbed[2] = ~(keyed[3] & keyed[1]);
+      assign subbed[3] = keyed[0] | keyed[2];
+      assign subbed[4] = ~keyed[5];
+      assign subbed[5] = keyed[6] ^ keyed[4];
+      assign subbed[6] = ~(keyed[7] & keyed[5]);
+      assign subbed[7] = keyed[4] | keyed[6];
+      reg [7:0] state;
+      always @(posedge clk) state <= subbed ^ state;
+      assign ct = state;
+    endmodule
+  )");
+
+  const auto lib = builtin_stdcell018();
+  std::printf("running the secure flow on '%s'...\n", circuit.name.c_str());
+  const SecureFlowResult secure = run_secure_flow(circuit, lib);
+  std::printf("%s\n", flow_report(secure).c_str());
+
+  // Rail matching comes for free from the flow.
+  const auto mismatch = rail_mismatch_ff(secure.extraction);
+  double worst = 0.0;
+  for (const auto& [net, mm] : mismatch) worst = std::max(worst, mm);
+  std::printf("differential pairs: %zu, worst rail mismatch %.2f fF\n",
+              mismatch.size(), worst);
+
+  // Flat energy signature, again with zero algorithm-specific effort.
+  PowerSimOptions opts;
+  opts.precharge_inputs = true;
+  PowerSimulator sim(secure.diff, secure.caps, opts);
+  Rng rng(1);
+  std::vector<double> energies;
+  for (int i = 0; i < 64; ++i) {
+    for (int b = 0; b < 8; ++b) {
+      const bool pt = rng.next_bool();
+      const bool kb = (0xA5 >> b) & 1;
+      sim.set_input("pt_" + std::to_string(b) + "_t", pt);
+      sim.set_input("pt_" + std::to_string(b) + "_f", !pt);
+      sim.set_input("k_" + std::to_string(b) + "_t", kb);
+      sim.set_input("k_" + std::to_string(b) + "_f", !kb);
+    }
+    const CycleTrace t = sim.run_cycle();
+    if (i >= 4) energies.push_back(t.energy_pj);
+  }
+  const EnergyStats st = compute_energy_stats(energies);
+  std::printf("energy over 60 random encryptions: mean %.2f pJ, "
+              "NED %.1f%%, NSD %.2f%%\n",
+              st.mean_pj, 100 * st.ned, 100 * st.nsd);
+  std::printf("\nno security expertise was used in writing toy_spn — that is "
+              "the flow's point.\n");
+  return 0;
+}

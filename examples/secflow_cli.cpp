@@ -1,0 +1,133 @@
+// Command-line driver for the secure digital design flow.
+//
+//   secflow_cli flow <design.v> [--regular] [--out DIR] [--quick-route]
+//       run the secure (default) or regular flow on a mini-HDL design and
+//       write every Fig 1 artifact into DIR (default: <module>_out/)
+//   secflow_cli report <design.v>
+//       synthesize only and print netlist statistics + timing
+//   secflow_cli wddl-lib
+//       print the generated WDDL compound-cell inventory
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "base/error.h"
+#include "flow/flow.h"
+#include "lef/lef_io.h"
+#include "liberty/builtin_lib.h"
+#include "liberty/liberty_parser.h"
+#include "netlist/netlist_ops.h"
+#include "netlist/verilog_writer.h"
+#include "sta/sta.h"
+#include "synth/hdl.h"
+#include "wddl/wddl_library.h"
+
+using namespace secflow;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: secflow_cli flow <design.v> [--regular] [--out DIR] "
+               "[--quick-route]\n"
+               "       secflow_cli report <design.v>\n"
+               "       secflow_cli wddl-lib\n");
+  return 2;
+}
+
+int cmd_flow(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string input = argv[0];
+  bool regular = false;
+  bool quick = false;
+  std::string out_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--regular") == 0) {
+      regular = true;
+    } else if (std::strcmp(argv[i], "--quick-route") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  const AigCircuit circuit = parse_hdl_file(input);
+  if (out_dir.empty()) out_dir = circuit.name + "_out";
+  const auto lib = builtin_stdcell018();
+  FlowOptions opts;
+  opts.quick_route = quick;
+
+  std::filesystem::create_directories(out_dir);
+  const std::filesystem::path out = out_dir;
+  if (regular) {
+    const RegularFlowResult r = run_regular_flow(circuit, lib, opts);
+    std::printf("%s", flow_report(r).c_str());
+    write_verilog_file(r.rtl, (out / "rtl.v").string());
+    write_lef_file(r.lef, (out / "lib.lef").string());
+    write_def_file(r.def, (out / "design.def").string());
+    std::printf("%s", timing_report_text(r.timing).c_str());
+  } else {
+    const SecureFlowResult r = run_secure_flow(circuit, lib, opts);
+    std::printf("%s", flow_report(r).c_str());
+    write_verilog_file(r.rtl, (out / "rtl.v").string());
+    write_verilog_file(r.fat, (out / "fat.v").string());
+    write_verilog_file(r.diff, (out / "diff.v").string());
+    write_lef_file(r.fat_lef, (out / "fat_lib.lef").string());
+    write_lef_file(r.diff_lef, (out / "diff_lib.lef").string());
+    write_def_file(r.fat_def, (out / "fat.def").string());
+    write_def_file(r.diff_def, (out / "diff.def").string());
+    std::printf("%s", timing_report_text(r.timing).c_str());
+  }
+  std::printf("artifacts written to %s/\n", out_dir.c_str());
+  return 0;
+}
+
+int cmd_report(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const AigCircuit circuit = parse_hdl_file(argv[0]);
+  const auto lib = builtin_stdcell018();
+  const Netlist rtl = technology_map(circuit, lib);
+  std::printf("module %s: %zu cells, %zu nets, %.1f um^2 cell area\n",
+              rtl.name().c_str(), rtl.n_instances(), rtl.n_nets(),
+              rtl.total_area_um2());
+  for (const auto& [cell, count] : cell_histogram(rtl)) {
+    std::printf("  %-8s x%d\n", cell.c_str(), count);
+  }
+  std::printf("%s", timing_report_text(analyze_timing(rtl, {})).c_str());
+  return 0;
+}
+
+int cmd_wddl_lib() {
+  const auto lib = builtin_stdcell018();
+  WddlLibrary wlib(lib);
+  const int n = wlib.generate_full_inventory();
+  std::printf("%d WDDL compound cells from %zu base cells:\n", n, lib->size());
+  for (const WddlCompound* c : wlib.all()) {
+    std::printf("  %-18s area %8.2f um^2  (", c->name.c_str(), c->area_um2);
+    bool first = true;
+    for (const auto& [prim, count] : c->primitives) {
+      std::printf("%s%dx%s", first ? "" : " ", count, prim.c_str());
+      first = false;
+    }
+    std::printf(")\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "flow") return cmd_flow(argc - 2, argv + 2);
+    if (cmd == "report") return cmd_report(argc - 2, argv + 2);
+    if (cmd == "wddl-lib") return cmd_wddl_lib();
+  } catch (const secflow::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

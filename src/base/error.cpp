@@ -1,0 +1,14 @@
+#include "base/error.h"
+
+#include <sstream>
+
+namespace secflow {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: (" << expr << ") " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace secflow

@@ -1,0 +1,59 @@
+#include "base/geometry.h"
+
+#include <cstdlib>
+#include <ostream>
+
+namespace secflow {
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.lo << ' ' << r.hi << ']';
+}
+
+std::ostream& operator<<(std::ostream& os, const Segment& s) {
+  return os << "M" << s.layer << ' ' << s.a << "->" << s.b << " w" << s.width;
+}
+
+std::int64_t manhattan(const Point& a, const Point& b) {
+  return std::llabs(a.x - b.x) + std::llabs(a.y - b.y);
+}
+
+Rect bounding_box(const std::vector<Point>& pts) {
+  if (pts.empty()) return {};
+  Rect r{pts.front(), pts.front()};
+  for (const Point& p : pts) {
+    r.lo.x = std::min(r.lo.x, p.x);
+    r.lo.y = std::min(r.lo.y, p.y);
+    r.hi.x = std::max(r.hi.x, p.x);
+    r.hi.y = std::max(r.hi.y, p.y);
+  }
+  return r;
+}
+
+std::int64_t interval_overlap(std::int64_t a1, std::int64_t a2,
+                              std::int64_t b1, std::int64_t b2) {
+  const std::int64_t alo = std::min(a1, a2), ahi = std::max(a1, a2);
+  const std::int64_t blo = std::min(b1, b2), bhi = std::max(b1, b2);
+  return std::max<std::int64_t>(0, std::min(ahi, bhi) - std::max(alo, blo));
+}
+
+std::int64_t parallel_run_length(const Segment& s, const Segment& t,
+                                 std::int64_t* separation) {
+  if (s.layer != t.layer) return 0;
+  if (s.horizontal() && t.horizontal()) {
+    const std::int64_t run = interval_overlap(s.a.x, s.b.x, t.a.x, t.b.x);
+    if (run > 0 && separation) *separation = std::llabs(s.a.y - t.a.y);
+    return run;
+  }
+  if (s.vertical() && t.vertical()) {
+    const std::int64_t run = interval_overlap(s.a.y, s.b.y, t.a.y, t.b.y);
+    if (run > 0 && separation) *separation = std::llabs(s.a.x - t.a.x);
+    return run;
+  }
+  return 0;
+}
+
+}  // namespace secflow

@@ -1,0 +1,100 @@
+// Integer rectilinear geometry used by placement, routing, decomposition and
+// extraction.  All coordinates are in layout database units (DBU); the
+// conversion to microns lives in base/units.h.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace secflow {
+
+/// A point in layout database units.
+struct Point {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+  friend auto operator<=>(const Point&, const Point&) = default;
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+};
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+/// Manhattan distance between two points.
+std::int64_t manhattan(const Point& a, const Point& b);
+
+/// Axis-aligned rectangle, inclusive low edge, exclusive high edge is not
+/// assumed: [lo, hi] both corners are part of the rect.  Degenerate rects
+/// (zero width or height) represent wire centre-line spans.
+struct Rect {
+  Point lo;
+  Point hi;
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  std::int64_t width() const { return hi.x - lo.x; }
+  std::int64_t height() const { return hi.y - lo.y; }
+  std::int64_t area() const { return width() * height(); }
+  Point center() const { return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2}; }
+
+  bool contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  bool overlaps(const Rect& o) const {
+    return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y && o.lo.y <= hi.y;
+  }
+  /// Grow by `m` on every side.
+  Rect inflated(std::int64_t m) const {
+    return {{lo.x - m, lo.y - m}, {hi.x + m, hi.y + m}};
+  }
+  /// Normalise so lo <= hi componentwise.
+  static Rect spanning(const Point& a, const Point& b) {
+    return {{std::min(a.x, b.x), std::min(a.y, b.y)},
+            {std::max(a.x, b.x), std::max(a.y, b.y)}};
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+/// Bounding box of a set of points; empty input yields a zero rect.
+Rect bounding_box(const std::vector<Point>& pts);
+
+/// An axis-parallel wire segment on a named routing layer.  `a` and `b`
+/// share an x or a y coordinate (checked by callers); `width` is the drawn
+/// wire width in DBU.
+struct Segment {
+  Point a;
+  Point b;
+  int layer = 0;
+  std::int64_t width = 0;
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+
+  bool horizontal() const { return a.y == b.y; }
+  bool vertical() const { return a.x == b.x; }
+  std::int64_t length() const { return manhattan(a, b); }
+  /// Segment translated by (dx, dy).
+  Segment translated(std::int64_t dx, std::int64_t dy) const {
+    return {{a.x + dx, a.y + dy}, {b.x + dx, b.y + dy}, layer, width};
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Segment& s);
+
+/// Length of the overlap of [a1,a2] and [b1,b2] on a single axis
+/// (inputs need not be ordered).  Zero when disjoint.
+std::int64_t interval_overlap(std::int64_t a1, std::int64_t a2,
+                              std::int64_t b1, std::int64_t b2);
+
+/// Length over which two parallel same-layer segments run side by side
+/// (used for coupling-capacitance extraction).  Returns 0 for segments on
+/// different layers, perpendicular segments or non-overlapping spans.
+/// `*separation` (optional) receives the centre-line distance.
+std::int64_t parallel_run_length(const Segment& s, const Segment& t,
+                                 std::int64_t* separation = nullptr);
+
+}  // namespace secflow

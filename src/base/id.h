@@ -1,0 +1,38 @@
+// Strongly-typed integer ids for netlist/layout object references.
+//
+// Ids index into per-container vectors; Id<Tag> for different Tags do not
+// convert to each other, which catches net-vs-instance mixups at compile
+// time while keeping storage as dense arrays (the standard EDA pattern).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace secflow {
+
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::int32_t v) : v_(v) {}
+
+  constexpr bool valid() const { return v_ >= 0; }
+  constexpr std::int32_t value() const { return v_; }
+  constexpr std::size_t index() const { return static_cast<std::size_t>(v_); }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  std::int32_t v_ = -1;
+};
+
+}  // namespace secflow
+
+template <typename Tag>
+struct std::hash<secflow::Id<Tag>> {
+  std::size_t operator()(secflow::Id<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};

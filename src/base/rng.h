@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be reproducible run-to-run, so all stochastic steps
+// (placement annealing, plaintext generation, process variation) take an
+// explicit Rng seeded by the caller.  The generator is xoshiro256**.
+#pragma once
+
+#include <cstdint>
+
+namespace secflow {
+
+/// xoshiro256** PRNG (Blackman & Vigna).  Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Standard normal variate (Box-Muller, uses two uniforms per pair).
+  double next_gaussian();
+
+  /// Uniform bool.
+  bool next_bool() { return (next_u64() >> 63) != 0; }
+
+  /// Fork a statistically independent child stream (for per-module seeding).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace secflow

@@ -1,0 +1,6 @@
+#include "base/units.h"
+
+// Header-only constants; this translation unit exists so the library has a
+// stable archive member for the module and a place for future non-inline
+// unit helpers.
+namespace secflow {}

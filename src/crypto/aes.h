@@ -1,0 +1,21 @@
+// AES S-box circuit generators, used to build designs at the scale of the
+// paper's 39 K-gate prototype ("high-throughput AES, controller and
+// fingerprint processor") for the flow-runtime benchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "synth/circuit.h"
+
+namespace secflow {
+
+/// Rijndael forward S-box lookup.
+std::uint8_t aes_sbox(std::uint8_t in);
+
+/// A registered array of `n_boxes` AES S-boxes: inputs x_<j> (8 bits per
+/// box), outputs y_<j>; each box output is registered.  Mapping one box
+/// yields several hundred cells, so tens of boxes reach the paper's 39 K
+/// gate scale.
+AigCircuit make_aes_sbox_array(int n_boxes);
+
+}  // namespace secflow

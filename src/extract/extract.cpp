@@ -1,0 +1,146 @@
+#include "extract/extract.h"
+
+#include <algorithm>
+
+#include "base/error.h"
+
+namespace secflow {
+
+double Extraction::total_cap_ff() const {
+  double c = 0.0;
+  for (const auto& [name, p] : nets) c += p.total_cap_ff();
+  return c;
+}
+
+Extraction extract_parasitics(const DefDesign& design, const Netlist& nl,
+                              const ExtractOptions& opts) {
+  const Process018& pr = opts.process;
+  Extraction ex;
+
+  // Wire geometry.
+  for (const DefNet& net : design.nets) {
+    NetParasitics p;
+    for (const Segment& s : net.wires) {
+      const double len_um = dbu_to_um(s.length());
+      const double w_um = dbu_to_um(s.width);
+      if (len_um <= 0.0) continue;
+      p.wire_cap_ff += len_um * w_um * pr.wire_c_area_ff_per_um2;
+      p.wire_cap_ff += 2.0 * len_um * pr.wire_c_fringe_ff_per_um;
+      p.res_kohm += pr.wire_r_ohm_per_sq * (len_um / w_um) * 1e-3;
+    }
+    for (std::size_t i = 0; i < net.vias.size(); ++i) {
+      p.wire_cap_ff += pr.via_c_ff;
+      p.res_kohm += pr.via_r_ohm * 1e-3;
+    }
+    ex.nets.emplace(net.name, std::move(p));
+  }
+
+  // Lateral coupling between different nets, same layer.
+  const std::int64_t max_sep = um_to_dbu(opts.coupling_max_sep_um);
+  for (std::size_t i = 0; i < design.nets.size(); ++i) {
+    for (std::size_t j = i + 1; j < design.nets.size(); ++j) {
+      const DefNet& a = design.nets[i];
+      const DefNet& b = design.nets[j];
+      double cc = 0.0;
+      for (const Segment& sa : a.wires) {
+        for (const Segment& sb : b.wires) {
+          std::int64_t sep = 0;
+          const std::int64_t run = parallel_run_length(sa, sb, &sep);
+          if (run <= 0 || sep == 0 || sep > max_sep) continue;
+          // Coupling scales with run length and inversely with separation
+          // (normalized to the minimum pitch).
+          const double pitch_um = pr.wire_pitch_um;
+          cc += pr.wire_c_couple_ff_per_um * dbu_to_um(run) *
+                (pitch_um / dbu_to_um(sep));
+        }
+      }
+      if (cc > 0.0) {
+        ex.nets[a.name].coupling_cap_ff += cc;
+        ex.nets[a.name].couplings.emplace_back(b.name, cc);
+        ex.nets[b.name].coupling_cap_ff += cc;
+        ex.nets[b.name].couplings.emplace_back(a.name, cc);
+      }
+    }
+  }
+
+  // Sink pin capacitance from the netlist.
+  for (NetId nid : nl.net_ids()) {
+    const Net& net = nl.net(nid);
+    const auto it = ex.nets.find(net.name);
+    if (it == ex.nets.end()) continue;
+    for (const PinRef& p : net.pins) {
+      const CellType& type = nl.cell_of(p.inst);
+      const PinDef& pin = type.pins[static_cast<std::size_t>(p.pin)];
+      if (pin.dir == PinDir::kInput) it->second.pin_cap_ff += pin.cap_ff;
+    }
+  }
+
+  // Process variation.
+  if (opts.variation_sigma > 0.0) {
+    Rng rng(opts.seed);
+    // Deterministic order: iterate DEF nets, not the hash map.
+    for (const DefNet& net : design.nets) {
+      NetParasitics& p = ex.nets[net.name];
+      const double factor =
+          std::max(0.0, 1.0 + opts.variation_sigma * rng.next_gaussian());
+      p.wire_cap_ff *= factor;
+      p.coupling_cap_ff *= factor;
+      for (auto& [other, c] : p.couplings) c *= factor;
+    }
+  }
+  return ex;
+}
+
+std::unordered_map<std::string, double> build_cap_table(
+    const Netlist& nl, const Extraction& ex, double internal_wire_ff) {
+  std::unordered_map<std::string, double> table;
+  table.reserve(nl.n_nets());
+  for (NetId nid : nl.net_ids()) {
+    const Net& net = nl.net(nid);
+    if (const NetParasitics* p = ex.find(net.name)) {
+      table.emplace(net.name, p->total_cap_ff());
+      continue;
+    }
+    // Compound-internal net: pins + short local wire.
+    double c = internal_wire_ff;
+    for (const PinRef& pr : net.pins) {
+      const CellType& type = nl.cell_of(pr.inst);
+      const PinDef& pin = type.pins[static_cast<std::size_t>(pr.pin)];
+      if (pin.dir == PinDir::kInput) c += pin.cap_ff;
+    }
+    table.emplace(net.name, c);
+  }
+  return table;
+}
+
+int balance_rail_caps(std::unordered_map<std::string, double>& caps,
+                      double strength) {
+  SECFLOW_CHECK(strength >= 0.0 && strength <= 1.0,
+                "balance strength out of range");
+  int adjusted = 0;
+  for (auto& [name, c] : caps) {
+    if (name.size() < 2 || name.substr(name.size() - 2) != "_t") continue;
+    const auto f = caps.find(name.substr(0, name.size() - 2) + "_f");
+    if (f == caps.end()) continue;
+    const double target = std::max(c, f->second);
+    c += strength * (target - c);
+    f->second += strength * (target - f->second);
+    ++adjusted;
+  }
+  return adjusted;
+}
+
+std::unordered_map<std::string, double> rail_mismatch_ff(
+    const Extraction& ex) {
+  std::unordered_map<std::string, double> out;
+  for (const auto& [name, p] : ex.nets) {
+    if (name.size() < 2 || name.substr(name.size() - 2) != "_t") continue;
+    const std::string base = name.substr(0, name.size() - 2);
+    const NetParasitics* f = ex.find(base + "_f");
+    if (f == nullptr) continue;
+    out.emplace(base, std::abs(p.total_cap_ff() - f->total_cap_ff()));
+  }
+  return out;
+}
+
+}  // namespace secflow

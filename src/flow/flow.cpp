@@ -1,0 +1,206 @@
+#include "flow/flow.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "base/error.h"
+#include "netlist/netlist_ops.h"
+
+namespace secflow {
+namespace {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double lap_ms() {
+    const auto now = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(now - start_).count();
+    start_ = now;
+    return ms;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The clock net name of a mapped netlist (net driving flop CK pins), or
+/// empty for combinational designs.
+std::string clock_net_name(const Netlist& nl) {
+  for (InstId iid : nl.instance_ids()) {
+    const CellType& type = nl.cell_of(iid);
+    if (type.kind != CellKind::kFlop) continue;
+    const NetId ck =
+        nl.instance(iid).conns[static_cast<std::size_t>(type.ck_pin())];
+    if (ck.valid()) return nl.net(ck).name;
+  }
+  return {};
+}
+
+}  // namespace
+
+SynthConstraints wddl_synth_constraints() {
+  SynthConstraints c;
+  c.allowed_cells = {"NAND2", "NAND3", "NOR2", "NOR3", "AND2", "AND3",
+                     "OR2",   "OR3",   "XOR2", "XNOR2", "AOI21", "AOI22",
+                     "AOI32", "OAI21", "OAI22", "MUX2"};
+  return c;
+}
+
+RegularFlowResult run_regular_flow(const AigCircuit& circuit,
+                                   std::shared_ptr<const CellLibrary> library,
+                                   const FlowOptions& opts) {
+  Stopwatch sw;
+  StageTimings t;
+
+  Netlist rtl = technology_map(circuit, library, opts.synth);
+  rtl.validate();
+  t.synthesis_ms = sw.lap_ms();
+
+  LefLibrary lef = generate_lef(*library, LefGenOptions{opts.extract.process});
+  DefDesign def = place_design(rtl, lef, opts.place);
+  t.place_ms = sw.lap_ms();
+
+  RouteStats rs = opts.quick_route ? route_design_quick(rtl, lef, def)
+                                   : route_design(rtl, lef, def, opts.route);
+  t.route_ms = sw.lap_ms();
+
+  Extraction ex = extract_parasitics(def, rtl, opts.extract);
+  CapTable caps = build_cap_table(rtl, ex);
+  t.extraction_ms = sw.lap_ms();
+  TimingReport timing = analyze_timing(rtl, caps);
+
+  return RegularFlowResult{std::move(rtl),  std::move(lef), std::move(def),
+                           rs,              std::move(ex),  std::move(caps),
+                           t,               std::move(timing)};
+}
+
+SecureFlowResult run_secure_flow(const AigCircuit& circuit,
+                                 std::shared_ptr<const CellLibrary> library,
+                                 const FlowOptions& opts) {
+  Stopwatch sw;
+  StageTimings t;
+
+  // Logic synthesis, restricted to WDDL-supported gates.
+  FlowOptions o = opts;
+  if (o.synth.allowed_cells.empty()) o.synth = wddl_synth_constraints();
+  Netlist rtl = technology_map(circuit, library, o.synth);
+  rtl.validate();
+  t.synthesis_ms = sw.lap_ms();
+
+  // Cell substitution: rtl.v -> fat.v + differential netlist.
+  auto wlib = std::make_shared<WddlLibrary>(library);
+  SubstitutionResult sub = substitute_cells(rtl, *wlib);
+  Netlist diff = expand_differential(sub.fat, *wlib);
+  t.substitution_ms = sw.lap_ms();
+
+  // Verification: fat netlist is logically equivalent to the original.
+  const LecResult lec = check_equivalence(rtl, sub.fat);
+  SECFLOW_CHECK(lec.equivalent,
+                "secure flow LEC failed: " +
+                    (lec.mismatches.empty() ? std::string("?")
+                                            : lec.mismatches[0].what));
+
+  // Fat place & route: doubled pitch and width — tripled with shielded
+  // pairs, reserving a third track for the shield wire.
+  LefGenOptions fat_gen{o.extract.process};
+  fat_gen.wire_scale = o.shielded_pairs ? 3.0 : 2.0;
+  LefLibrary fat_lef = generate_lef(*wlib->fat_library(), fat_gen);
+  DefDesign fat_def = place_design(sub.fat, fat_lef, o.place);
+  t.place_ms = sw.lap_ms();
+  RouteStats rs = o.quick_route
+                      ? route_design_quick(sub.fat, fat_lef, fat_def)
+                      : route_design(sub.fat, fat_lef, fat_def, o.route);
+  t.route_ms = sw.lap_ms();
+
+  // Interconnect decomposition + stream-out with the differential library.
+  const Process018& pr = o.extract.process;
+  DecomposeOptions dopts;
+  dopts.add_shields = o.shielded_pairs;
+  const std::string clk = clock_net_name(sub.fat);
+  if (!clk.empty()) dopts.single_ended_nets.push_back(clk);
+  DefDesign diff_def = decompose_interconnect(
+      fat_def, um_to_dbu(pr.wire_pitch_um), um_to_dbu(pr.wire_width_um),
+      dopts);
+  LefLibrary diff_lef =
+      make_diff_lef(fat_lef, pr.wire_pitch_um, pr.wire_width_um);
+  t.decomposition_ms = sw.lap_ms();
+
+  // Stream-out verification (the paper's "importing the differential gate
+  // level netlist" check): rail symmetry plus per-rail pin connectivity
+  // against the differential LEF.
+  CheckResult stream_check = check_differential_symmetry(
+      diff_def, um_to_dbu(pr.wire_pitch_um));
+  SECFLOW_CHECK(stream_check.ok, "decomposition symmetry check failed");
+  const CheckResult rail_check = check_stream_out(
+      sub.fat, diff_lef, diff_def, 5 * fat_lef.track_pitch_dbu());
+  SECFLOW_CHECK(rail_check.ok,
+                "stream-out rail connectivity check failed: " +
+                    (rail_check.issues.empty()
+                         ? std::string("?")
+                         : rail_check.issues[0].net + " " +
+                               rail_check.issues[0].what));
+  stream_check.nets_checked += rail_check.nets_checked;
+  stream_check.pins_checked += rail_check.pins_checked;
+
+  Extraction ex = extract_parasitics(diff_def, diff, o.extract);
+  CapTable caps = build_cap_table(diff, ex);
+  t.extraction_ms = sw.lap_ms();
+
+  // The evaluate wave must settle within the first half cycle so the WDDL
+  // masters capture valid differential data at the falling edge.
+  TimingReport timing = analyze_timing(diff, caps);
+  const double half_cycle_ps = SamplingSpec{}.cycle_s() * 1e12 / 2;
+  SECFLOW_CHECK(timing.critical_delay_ps < half_cycle_ps,
+                "WDDL evaluation (" +
+                    std::to_string(timing.critical_delay_ps) +
+                    " ps) does not fit the evaluate half-cycle");
+
+  return SecureFlowResult{std::move(rtl),
+                          wlib,
+                          std::move(sub.fat),
+                          std::move(diff),
+                          std::move(fat_lef),
+                          std::move(diff_lef),
+                          std::move(fat_def),
+                          std::move(diff_def),
+                          rs,
+                          sub.stats,
+                          lec,
+                          stream_check,
+                          std::move(ex),
+                          std::move(caps),
+                          t,
+                          std::move(timing)};
+}
+
+std::string flow_report(const RegularFlowResult& r) {
+  std::ostringstream os;
+  os << "regular flow: " << r.rtl.name() << "\n";
+  os << "  cells:       " << r.rtl.n_instances() << " (area "
+     << r.rtl.total_area_um2() << " um^2)\n";
+  os << "  die:         " << r.die_area_um2() << " um^2\n";
+  os << "  wirelength:  " << dbu_to_um(r.def.total_wirelength()) << " um, "
+     << r.def.total_vias() << " vias\n";
+  return os.str();
+}
+
+std::string flow_report(const SecureFlowResult& r) {
+  std::ostringstream os;
+  os << "secure flow: " << r.rtl.name() << "\n";
+  os << "  rtl cells:       " << r.rtl.n_instances() << "\n";
+  os << "  fat compounds:   " << r.fat.n_instances() << " ("
+     << r.sub_stats.inverters_removed << " inverters removed)\n";
+  os << "  diff primitives: " << r.diff.n_instances() << " (area "
+     << r.diff.total_area_um2() << " um^2)\n";
+  os << "  die:             " << r.die_area_um2() << " um^2\n";
+  os << "  wirelength:      " << dbu_to_um(r.diff_def.total_wirelength())
+     << " um, " << r.diff_def.total_vias() << " vias\n";
+  os << "  LEC:             " << (r.lec.equivalent ? "pass" : "FAIL") << " ("
+     << r.lec.compared_points << " points)\n";
+  os << "  eval timing:     " << r.timing.critical_delay_ps
+     << " ps critical (half-cycle budget 4000 ps)\n";
+  return os.str();
+}
+
+}  // namespace secflow

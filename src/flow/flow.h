@@ -1,0 +1,116 @@
+// The two design flows of the paper (Fig 1).
+//
+// RegularFlow: logic synthesis -> place & route -> extraction, with
+// ordinary single-ended standard cells.
+//
+// SecureFlow: the same flow with the two extra backend steps —
+//   cell substitution      rtl.v -> fat.v (+ differential netlist), and
+//   interconnect decomposition  fat.def -> diff.def —
+// plus the verification hooks the paper lists: a logic equivalence check
+// between the fat and original netlists, and a connectivity check between
+// the differential netlist and the decomposed design during stream-out.
+//
+// Both flows return every artifact (netlists, LEFs, DEFs, extraction,
+// switched-capacitance table) so experiments can replay any stage.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "extract/extract.h"
+#include "lec/lec.h"
+#include "lef/lef.h"
+#include "netlist/netlist.h"
+#include "pnr/check.h"
+#include "pnr/decompose.h"
+#include "pnr/def.h"
+#include "pnr/place.h"
+#include "pnr/route.h"
+#include "sim/power_sim.h"
+#include "sta/sta.h"
+#include "synth/circuit.h"
+#include "synth/techmap.h"
+#include "wddl/cell_substitution.h"
+#include "wddl/wddl_library.h"
+
+namespace secflow {
+
+struct FlowOptions {
+  SynthConstraints synth;
+  PlaceOptions place;        ///< paper defaults: aspect 1, fill 80 %
+  RouteOptions route;
+  ExtractOptions extract;
+  /// L-shaped non-conflict-checked routing (scale benchmarks only).
+  bool quick_route = false;
+  /// The paper's "shielded lines" strengthening option: route fat wires at
+  /// triple width/pitch and emit a grounded shield wire beside every
+  /// differential pair during decomposition (costs silicon area).
+  bool shielded_pairs = false;
+};
+
+struct StageTimings {
+  double synthesis_ms = 0.0;
+  double substitution_ms = 0.0;   // secure flow only
+  double place_ms = 0.0;
+  double route_ms = 0.0;
+  double decomposition_ms = 0.0;  // secure flow only
+  double extraction_ms = 0.0;
+};
+
+struct RegularFlowResult {
+  Netlist rtl;
+  LefLibrary lef;
+  DefDesign def;
+  RouteStats route_stats;
+  Extraction extraction;
+  CapTable caps;
+  StageTimings timings;
+  TimingReport timing;  ///< STA on the extracted design
+
+  double die_area_um2() const { return def.die_area_um2(); }
+};
+
+struct SecureFlowResult {
+  Netlist rtl;                       ///< single-ended mapped netlist
+  std::shared_ptr<WddlLibrary> wlib;
+  Netlist fat;                       ///< fat.v
+  Netlist diff;                      ///< differential netlist
+  LefLibrary fat_lef;                ///< fat_lib.lef
+  LefLibrary diff_lef;               ///< diff_lib.lef
+  DefDesign fat_def;                 ///< fat.def
+  DefDesign diff_def;                ///< diff.def (the layout)
+  RouteStats route_stats;
+  SubstitutionStats sub_stats;
+  LecResult lec;                     ///< fat.v == rtl.v
+  CheckResult stream_out_check;      ///< diff netlist == diff.def wiring
+  Extraction extraction;             ///< on diff.def
+  CapTable caps;                     ///< for the differential netlist
+  StageTimings timings;
+  /// STA on the differential netlist.  WDDL evaluates in the first half
+  /// cycle (masters capture at the falling edge), so the critical delay
+  /// must fit period/2; run_secure_flow throws when it does not.
+  TimingReport timing;
+
+  double die_area_um2() const { return diff_def.die_area_um2(); }
+};
+
+/// Run the regular (reference) flow on an elaborated circuit.
+RegularFlowResult run_regular_flow(const AigCircuit& circuit,
+                                   std::shared_ptr<const CellLibrary> library,
+                                   const FlowOptions& opts = {});
+
+/// Run the secure flow.  Throws Error if a verification step fails.
+SecureFlowResult run_secure_flow(const AigCircuit& circuit,
+                                 std::shared_ptr<const CellLibrary> library,
+                                 const FlowOptions& opts = {});
+
+/// The synthesis gate whitelist for WDDL designs (cells with compound
+/// counterparts; XOR/XNOR allowed — their compounds exist — but INV-heavy
+/// mapping is discouraged since inverters dissolve into rail swaps).
+SynthConstraints wddl_synth_constraints();
+
+/// Human-readable one-design flow report (areas, cells, wirelength).
+std::string flow_report(const RegularFlowResult& r);
+std::string flow_report(const SecureFlowResult& r);
+
+}  // namespace secflow

@@ -1,0 +1,132 @@
+#include "lec/bdd.h"
+
+#include <cstdint>
+#include <functional>
+
+#include "base/error.h"
+
+namespace secflow {
+namespace {
+
+std::uint64_t triple_key(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  // 21 bits per field is ample for this package's sizes.
+  return (static_cast<std::uint64_t>(a) << 42) |
+         (static_cast<std::uint64_t>(b) << 21) | c;
+}
+
+}  // namespace
+
+Bdd::Bdd() {
+  nodes_.push_back(Node{});  // 0: false terminal
+  nodes_.push_back(Node{});  // 1: true terminal
+}
+
+BddRef Bdd::make(int var, BddRef lo, BddRef hi) {
+  if (lo == hi) return lo;
+  const std::uint64_t key =
+      triple_key(static_cast<std::uint32_t>(var), lo, hi);
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  const BddRef id = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back(Node{var, lo, hi});
+  unique_.emplace(key, id);
+  return id;
+}
+
+BddRef Bdd::var(int index) {
+  SECFLOW_CHECK(index >= 0, "negative BDD variable");
+  const auto it = vars_.find(index);
+  if (it != vars_.end()) return it->second;
+  const BddRef v = make(index, kFalse, kTrue);
+  vars_.emplace(index, v);
+  return v;
+}
+
+int Bdd::top_var(BddRef f, BddRef g, BddRef h) const {
+  int top = INT32_MAX;
+  for (BddRef r : {f, g, h}) {
+    if (r > kTrue && nodes_[r].var < top) top = nodes_[r].var;
+  }
+  return top;
+}
+
+BddRef Bdd::cofactor(BddRef f, int v, bool value) const {
+  if (f <= kTrue) return f;
+  const Node& n = nodes_[f];
+  if (n.var != v) return f;
+  return value ? n.hi : n.lo;
+}
+
+BddRef Bdd::ite(BddRef i, BddRef t, BddRef e) {
+  // Terminal cases.
+  if (i == kTrue) return t;
+  if (i == kFalse) return e;
+  if (t == e) return t;
+  if (t == kTrue && e == kFalse) return i;
+  const std::uint64_t key = triple_key(i, t, e);
+  if (const auto it = ite_cache_.find(key); it != ite_cache_.end()) {
+    return it->second;
+  }
+  const int v = top_var(i, t, e);
+  const BddRef hi = ite(cofactor(i, v, true), cofactor(t, v, true),
+                        cofactor(e, v, true));
+  const BddRef lo = ite(cofactor(i, v, false), cofactor(t, v, false),
+                        cofactor(e, v, false));
+  const BddRef r = make(v, lo, hi);
+  ite_cache_.emplace(key, r);
+  return r;
+}
+
+BddRef Bdd::bdd_not(BddRef f) { return ite(f, kFalse, kTrue); }
+BddRef Bdd::bdd_and(BddRef f, BddRef g) { return ite(f, g, kFalse); }
+BddRef Bdd::bdd_or(BddRef f, BddRef g) { return ite(f, kTrue, g); }
+BddRef Bdd::bdd_xor(BddRef f, BddRef g) { return ite(f, bdd_not(g), g); }
+
+BddRef Bdd::apply_fn(const LogicFn& fn, const std::vector<BddRef>& args) {
+  SECFLOW_CHECK(static_cast<int>(args.size()) >= fn.n_inputs(),
+                "apply_fn: not enough arguments");
+  // Shannon expansion over the function's inputs, highest index first:
+  // split the table into the cofactor sub-tables for input i = 0 / 1.
+  const std::function<BddRef(std::uint64_t, int)> expand =
+      [&](std::uint64_t table, int k) -> BddRef {
+    if (k == 0) return (table & 1) ? kTrue : kFalse;
+    const int i = k - 1;
+    const unsigned half = 1u << i;
+    std::uint64_t lo_t = 0, hi_t = 0;
+    for (unsigned r = 0; r < half; ++r) {
+      if ((table >> r) & 1) lo_t |= std::uint64_t{1} << r;
+      if ((table >> (r | half)) & 1) hi_t |= std::uint64_t{1} << r;
+    }
+    const BddRef lo = expand(lo_t, k - 1);
+    const BddRef hi = expand(hi_t, k - 1);
+    return ite(args[static_cast<std::size_t>(i)], hi, lo);
+  };
+  return expand(fn.table(), fn.n_inputs());
+}
+
+bool Bdd::eval(BddRef f, const std::vector<bool>& assignment) const {
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    const bool v = n.var < static_cast<int>(assignment.size()) &&
+                   assignment[static_cast<std::size_t>(n.var)];
+    f = v ? n.hi : n.lo;
+  }
+  return f == kTrue;
+}
+
+std::vector<bool> Bdd::any_sat(BddRef f, int n_vars) const {
+  SECFLOW_CHECK(f != kFalse, "any_sat of constant false");
+  std::vector<bool> out(static_cast<std::size_t>(n_vars), false);
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    if (n.hi != kFalse) {
+      if (n.var < n_vars) out[static_cast<std::size_t>(n.var)] = true;
+      f = n.hi;
+    } else {
+      f = n.lo;
+    }
+  }
+  return out;
+}
+
+}  // namespace secflow

@@ -1,0 +1,67 @@
+// Reduced Ordered Binary Decision Diagrams.
+//
+// A small from-scratch BDD package sufficient for combinational
+// equivalence checking of flow artifacts (the role Formality / Verplex LEC
+// play in the paper).  Nodes live in a unique table, so two functions are
+// equivalent iff their root ids are equal.  Variable order is creation
+// order.  No complement edges (kept simple; sizes here are modest).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/logic_fn.h"
+
+namespace secflow {
+
+using BddRef = std::uint32_t;
+
+class Bdd {
+ public:
+  static constexpr BddRef kFalse = 0;
+  static constexpr BddRef kTrue = 1;
+
+  Bdd();
+
+  /// Create (or return) the variable with this index; variables are
+  /// ordered by index in every BDD.
+  BddRef var(int index);
+
+  BddRef bdd_not(BddRef f);
+  BddRef bdd_and(BddRef f, BddRef g);
+  BddRef bdd_or(BddRef f, BddRef g);
+  BddRef bdd_xor(BddRef f, BddRef g);
+  /// if-then-else: i ? t : e (the core operation).
+  BddRef ite(BddRef i, BddRef t, BddRef e);
+
+  /// BDD of `fn` applied to the given argument BDDs.
+  BddRef apply_fn(const LogicFn& fn, const std::vector<BddRef>& args);
+
+  /// Evaluate under an assignment (indexed by variable index).
+  bool eval(BddRef f, const std::vector<bool>& assignment) const;
+
+  /// One satisfying assignment of f (f must not be kFalse); variables not
+  /// on the path default to false.  Used for counterexamples.
+  std::vector<bool> any_sat(BddRef f, int n_vars) const;
+
+  std::size_t n_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int var = -1;  // -1 for terminals
+    BddRef lo = 0;
+    BddRef hi = 0;
+  };
+
+  BddRef make(int var, BddRef lo, BddRef hi);
+  int top_var(BddRef f, BddRef g, BddRef h) const;
+  BddRef cofactor(BddRef f, int var, bool value) const;
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, BddRef> unique_;
+  std::unordered_map<std::uint64_t, BddRef> ite_cache_;
+  std::unordered_map<int, BddRef> vars_;
+};
+
+}  // namespace secflow

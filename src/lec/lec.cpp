@@ -1,0 +1,186 @@
+#include "lec/lec.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "base/error.h"
+#include "lec/bdd.h"
+
+namespace secflow {
+namespace {
+
+/// Builds BDDs for every net of one netlist over a shared variable space.
+class ConeBuilder {
+ public:
+  ConeBuilder(const Netlist& nl, Bdd& bdd,
+              const std::map<std::string, int>& input_vars,
+              const std::map<std::string, int>& state_vars)
+      : nl_(nl), bdd_(bdd) {
+    net_bdd_.assign(nl.n_nets(), Bdd::kFalse);
+
+    for (PortId pid : nl.port_ids()) {
+      const Port& p = nl.port(pid);
+      if (p.dir != PinDir::kInput) continue;
+      const auto it = input_vars.find(p.name);
+      SECFLOW_CHECK(it != input_vars.end(), "missing input var " + p.name);
+      net_bdd_[p.net.index()] = bdd_.var(it->second);
+    }
+    for (InstId iid : nl.instance_ids()) {
+      const Instance& in = nl.instance(iid);
+      const CellType& type = nl.cell_of(iid);
+      if (type.kind != CellKind::kFlop) continue;
+      const auto it = state_vars.find(in.name);
+      if (it == state_vars.end()) continue;  // reported by caller
+      const NetId q = in.conns[static_cast<std::size_t>(type.output_pin())];
+      if (!q.valid()) continue;
+      net_bdd_[q.index()] = bdd_.var(it->second);
+    }
+    for (InstId iid : nl.topological_order()) {
+      const Instance& in = nl.instance(iid);
+      const CellType& type = nl.cell_of(iid);
+      if (type.kind == CellKind::kFlop) continue;
+      const int out_pin = type.output_pin();
+      if (out_pin < 0) continue;
+      const NetId out = in.conns[static_cast<std::size_t>(out_pin)];
+      if (!out.valid()) continue;
+      std::vector<BddRef> args;
+      for (int pin : type.input_pins()) {
+        const NetId net = in.conns[static_cast<std::size_t>(pin)];
+        SECFLOW_CHECK(net.valid(), "floating input in LEC: " + in.name);
+        args.push_back(net_bdd_[net.index()]);
+      }
+      net_bdd_[out.index()] = bdd_.apply_fn(type.function, args);
+    }
+  }
+
+  BddRef net(NetId id) const { return net_bdd_[id.index()]; }
+
+  /// Next-state function of a flop: its input function applied to the D
+  /// cone (identity for DFF, inversion for rail-swapped variants).
+  BddRef next_state(InstId flop) const {
+    const Instance& in = nl_.instance(flop);
+    const CellType& type = nl_.cell_of(flop);
+    const NetId d = in.conns[static_cast<std::size_t>(type.d_pin())];
+    SECFLOW_CHECK(d.valid(), "flop without D in LEC: " + in.name);
+    return bdd_.apply_fn(type.function, {net_bdd_[d.index()]});
+  }
+
+ private:
+  const Netlist& nl_;
+  Bdd& bdd_;
+  std::vector<BddRef> net_bdd_;
+};
+
+std::string format_counterexample(const Bdd& bdd, BddRef diff,
+                                  const std::vector<std::string>& var_names) {
+  const std::vector<bool> assignment =
+      bdd.any_sat(diff, static_cast<int>(var_names.size()));
+  std::string out;
+  for (std::size_t i = 0; i < var_names.size(); ++i) {
+    if (!out.empty()) out += ' ';
+    out += var_names[i] + "=" + (assignment[i] ? "1" : "0");
+  }
+  return out;
+}
+
+}  // namespace
+
+LecResult check_equivalence(const Netlist& a, const Netlist& b) {
+  LecResult result;
+  result.equivalent = true;
+
+  // Shared variable space: union of input ports and flop instance names.
+  std::map<std::string, int> input_vars;
+  std::map<std::string, int> state_vars;
+  std::vector<std::string> var_names;
+  auto collect_inputs = [&](const Netlist& nl) {
+    for (PortId pid : nl.port_ids()) {
+      const Port& p = nl.port(pid);
+      if (p.dir != PinDir::kInput) continue;
+      if (!input_vars.contains(p.name)) {
+        input_vars.emplace(p.name, static_cast<int>(var_names.size()));
+        var_names.push_back(p.name);
+      }
+    }
+  };
+  auto collect_states = [&](const Netlist& nl) {
+    for (InstId iid : nl.instance_ids()) {
+      if (nl.cell_of(iid).kind != CellKind::kFlop) continue;
+      const std::string& name = nl.instance(iid).name;
+      if (!state_vars.contains(name)) {
+        state_vars.emplace(name, static_cast<int>(var_names.size()));
+        var_names.push_back(name);
+      }
+    }
+  };
+  collect_inputs(a);
+  collect_inputs(b);
+  collect_states(a);
+  collect_states(b);
+
+  Bdd bdd;
+  const ConeBuilder cone_a(a, bdd, input_vars, state_vars);
+  const ConeBuilder cone_b(b, bdd, input_vars, state_vars);
+
+  auto report = [&](const std::string& what, BddRef fa, BddRef fb) {
+    ++result.compared_points;
+    if (fa == fb) return;
+    result.equivalent = false;
+    const BddRef diff = bdd.bdd_xor(fa, fb);
+    result.mismatches.push_back(
+        LecMismatch{what, format_counterexample(bdd, diff, var_names)});
+  };
+
+  // Output ports.
+  for (PortId pid : a.port_ids()) {
+    const Port& pa = a.port(pid);
+    if (pa.dir != PinDir::kOutput) continue;
+    const PortId qid = b.find_port(pa.name);
+    if (!qid.valid() || b.port(qid).dir != PinDir::kOutput) {
+      result.equivalent = false;
+      result.mismatches.push_back(
+          LecMismatch{"output " + pa.name + " missing in " + b.name(), ""});
+      continue;
+    }
+    report("output " + pa.name, cone_a.net(pa.net),
+           cone_b.net(b.port(qid).net));
+  }
+  for (PortId pid : b.port_ids()) {
+    const Port& pb = b.port(pid);
+    if (pb.dir == PinDir::kOutput && !a.find_port(pb.name).valid()) {
+      result.equivalent = false;
+      result.mismatches.push_back(
+          LecMismatch{"output " + pb.name + " missing in " + a.name(), ""});
+    }
+  }
+
+  // Registers (name correspondence).
+  std::unordered_map<std::string, InstId> flops_b;
+  for (InstId iid : b.instance_ids()) {
+    if (b.cell_of(iid).kind == CellKind::kFlop) {
+      flops_b.emplace(b.instance(iid).name, iid);
+    }
+  }
+  for (InstId iid : a.instance_ids()) {
+    if (a.cell_of(iid).kind != CellKind::kFlop) continue;
+    const std::string& name = a.instance(iid).name;
+    const auto it = flops_b.find(name);
+    if (it == flops_b.end()) {
+      result.equivalent = false;
+      result.mismatches.push_back(
+          LecMismatch{"register " + name + " missing in " + b.name(), ""});
+      continue;
+    }
+    report("register " + name, cone_a.next_state(iid),
+           cone_b.next_state(it->second));
+    flops_b.erase(it);
+  }
+  for (const auto& [name, iid] : flops_b) {
+    result.equivalent = false;
+    result.mismatches.push_back(
+        LecMismatch{"register " + name + " missing in " + a.name(), ""});
+  }
+  return result;
+}
+
+}  // namespace secflow

@@ -1,0 +1,37 @@
+// Logic equivalence checking between flow artifacts (paper section 2.3:
+// "A logic equivalence checker, such as Formality or Verplex LEC, verifies
+// the equivalence between the fat gate level netlist and the original
+// netlist").
+//
+// Sequential netlists are compared combinationally with register
+// correspondence by instance name: for each pair of corresponding flops
+// the next-state cones must match (the flop's input function — identity
+// for DFF, inversion for the WDDL rail-swapped variant — is applied), and
+// every output-port cone must match.  Cones are compared as BDDs over the
+// shared primary inputs and register outputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace secflow {
+
+struct LecMismatch {
+  std::string what;           ///< port or flop name
+  std::string counterexample; ///< input/state assignment exhibiting the diff
+};
+
+struct LecResult {
+  bool equivalent = false;
+  int compared_points = 0;
+  std::vector<LecMismatch> mismatches;
+};
+
+/// Check combinational equivalence of `a` and `b` with name-based port and
+/// register correspondence.  Structural differences (missing ports or
+/// registers) are reported as mismatches.
+LecResult check_equivalence(const Netlist& a, const Netlist& b);
+
+}  // namespace secflow

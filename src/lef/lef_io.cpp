@@ -1,0 +1,165 @@
+#include "lef/lef_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/error.h"
+#include "base/strings.h"
+
+namespace secflow {
+namespace {
+
+/// Whitespace token stream with one-token lookahead.
+class TokenStream {
+ public:
+  explicit TokenStream(const std::string& text) {
+    std::istringstream is(text);
+    std::string tok;
+    while (is >> tok) tokens_.push_back(tok);
+  }
+
+  bool done() const { return pos_ >= tokens_.size(); }
+  const std::string& peek() const {
+    static const std::string kEnd = "<eof>";
+    return done() ? kEnd : tokens_[pos_];
+  }
+  std::string next() {
+    SECFLOW_CHECK(!done(), "unexpected end of LEF");
+    return tokens_[pos_++];
+  }
+  void expect(const std::string& kw) {
+    const std::string t = next();
+    if (t != kw) {
+      throw ParseError("lef token " + std::to_string(pos_),
+                       "expected '" + kw + "', got '" + t + "'");
+    }
+  }
+  double number() {
+    const std::string t = next();
+    try {
+      return std::stod(t);
+    } catch (const std::exception&) {
+      throw ParseError("lef token " + std::to_string(pos_),
+                       "expected number, got '" + t + "'");
+    }
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string write_lef(const LefLibrary& lib) {
+  std::ostringstream os;
+  os << "VERSION 5.6 ;\n";
+  for (const LefLayer& l : lib.layers()) {
+    os << "LAYER " << l.name << "\n";
+    os << "  DIRECTION "
+       << (l.dir == LayerDir::kHorizontal ? "HORIZONTAL" : "VERTICAL")
+       << " ;\n";
+    os << "  PITCH " << l.pitch_um << " ;\n";
+    os << "  WIDTH " << l.width_um << " ;\n";
+    os << "END " << l.name << "\n";
+  }
+  for (const LefMacro& m : lib.macros()) {
+    os << "MACRO " << m.name << "\n";
+    os << "  SIZE " << dbu_to_um(m.width_dbu) << " BY "
+       << dbu_to_um(m.height_dbu) << " ;\n";
+    for (const LefPin& p : m.pins) {
+      os << "  PIN " << p.name << " DIRECTION "
+         << (p.dir == PinDir::kInput ? "INPUT" : "OUTPUT") << " ORIGIN "
+         << dbu_to_um(p.offset.x) << ' ' << dbu_to_um(p.offset.y) << " ;\n";
+    }
+    os << "END " << m.name << "\n";
+  }
+  os << "END LIBRARY\n";
+  return os.str();
+}
+
+void write_lef_file(const LefLibrary& lib, const std::string& path) {
+  std::ofstream f(path);
+  SECFLOW_CHECK(f.good(), "cannot open for write: " + path);
+  f << write_lef(lib);
+  SECFLOW_CHECK(f.good(), "write failed: " + path);
+}
+
+LefLibrary parse_lef(const std::string& text, const std::string& name) {
+  TokenStream ts(text);
+  LefLibrary lib(name);
+  while (!ts.done()) {
+    const std::string kw = ts.next();
+    if (kw == "VERSION") {
+      ts.number();
+      ts.expect(";");
+    } else if (kw == "LAYER") {
+      LefLayer layer;
+      layer.name = ts.next();
+      while (ts.peek() != "END") {
+        const std::string attr = ts.next();
+        if (attr == "DIRECTION") {
+          const std::string d = ts.next();
+          layer.dir = (d == "VERTICAL") ? LayerDir::kVertical
+                                        : LayerDir::kHorizontal;
+          ts.expect(";");
+        } else if (attr == "PITCH") {
+          layer.pitch_um = ts.number();
+          ts.expect(";");
+        } else if (attr == "WIDTH") {
+          layer.width_um = ts.number();
+          ts.expect(";");
+        } else {
+          throw ParseError("lef", "unknown layer attribute: " + attr);
+        }
+      }
+      ts.expect("END");
+      ts.expect(layer.name);
+      lib.add_layer(std::move(layer));
+    } else if (kw == "MACRO") {
+      LefMacro m;
+      m.name = ts.next();
+      while (ts.peek() != "END") {
+        const std::string attr = ts.next();
+        if (attr == "SIZE") {
+          m.width_dbu = um_to_dbu(ts.number());
+          ts.expect("BY");
+          m.height_dbu = um_to_dbu(ts.number());
+          ts.expect(";");
+        } else if (attr == "PIN") {
+          LefPin p;
+          p.name = ts.next();
+          ts.expect("DIRECTION");
+          const std::string d = ts.next();
+          p.dir = (d == "OUTPUT") ? PinDir::kOutput : PinDir::kInput;
+          ts.expect("ORIGIN");
+          p.offset.x = um_to_dbu(ts.number());
+          p.offset.y = um_to_dbu(ts.number());
+          ts.expect(";");
+          m.pins.push_back(std::move(p));
+        } else {
+          throw ParseError("lef", "unknown macro attribute: " + attr);
+        }
+      }
+      ts.expect("END");
+      ts.expect(m.name);
+      lib.add_macro(std::move(m));
+    } else if (kw == "END") {
+      ts.expect("LIBRARY");
+      break;
+    } else {
+      throw ParseError("lef", "unknown keyword: " + kw);
+    }
+  }
+  return lib;
+}
+
+LefLibrary parse_lef_file(const std::string& path) {
+  std::ifstream f(path);
+  SECFLOW_CHECK(f.good(), "cannot open: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_lef(ss.str(), path);
+}
+
+}  // namespace secflow

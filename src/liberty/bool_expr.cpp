@@ -1,0 +1,161 @@
+#include "liberty/bool_expr.h"
+
+#include <cctype>
+
+#include "base/error.h"
+
+namespace secflow {
+namespace {
+
+// Truth tables are manipulated directly as 64-bit masks over the full
+// variable set; `ones` is the mask of valid rows.
+class ExprParser {
+ public:
+  ExprParser(const std::string& text, const std::vector<std::string>& names)
+      : text_(text), names_(names) {
+    SECFLOW_CHECK(names.size() <= LogicFn::kMaxInputs,
+                  "too many inputs for bool expr");
+    const unsigned rows = 1u << names_.size();
+    ones_ = rows >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << rows) - 1);
+  }
+
+  LogicFn parse() {
+    const std::uint64_t t = parse_or();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return LogicFn(static_cast<int>(names_.size()), t);
+  }
+
+ private:
+  std::uint64_t parse_or() {
+    std::uint64_t t = parse_xor();
+    for (;;) {
+      skip_ws();
+      if (peek() == '|' || peek() == '+') {
+        ++pos_;
+        t |= parse_xor();
+      } else {
+        return t;
+      }
+    }
+  }
+
+  std::uint64_t parse_xor() {
+    std::uint64_t t = parse_and();
+    for (;;) {
+      skip_ws();
+      if (peek() == '^') {
+        ++pos_;
+        t ^= parse_and();
+      } else {
+        return t;
+      }
+    }
+  }
+
+  std::uint64_t parse_and() {
+    std::uint64_t t = parse_unary();
+    for (;;) {
+      skip_ws();
+      const char c = peek();
+      if (c == '&' || c == '*') {
+        ++pos_;
+        t &= parse_unary();
+      } else if (c == '!' || c == '(' || c == '0' || c == '1' ||
+                 std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        // Liberty allows juxtaposition as AND ("A B").
+        t &= parse_unary();
+      } else {
+        return t;
+      }
+    }
+  }
+
+  std::uint64_t parse_unary() {
+    skip_ws();
+    std::uint64_t t;
+    if (peek() == '!') {
+      ++pos_;
+      t = ~parse_unary() & ones_;
+    } else if (peek() == '(') {
+      ++pos_;
+      t = parse_or();
+      skip_ws();
+      if (peek() != ')') fail("expected ')'");
+      ++pos_;
+    } else if (peek() == '0') {
+      ++pos_;
+      t = 0;
+    } else if (peek() == '1') {
+      ++pos_;
+      t = ones_;
+    } else {
+      t = parse_var();
+    }
+    // Postfix complement (Liberty: A').
+    for (;;) {
+      skip_ws();
+      if (peek() == '\'') {
+        ++pos_;
+        t = ~t & ones_;
+      } else {
+        break;
+      }
+    }
+    return t;
+  }
+
+  std::uint64_t parse_var() {
+    std::string name;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        name += c;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (name.empty()) fail("expected identifier");
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return var_table(static_cast<int>(i));
+    }
+    fail("unknown identifier: " + name);
+  }
+
+  std::uint64_t var_table(int i) const {
+    const unsigned rows = 1u << names_.size();
+    std::uint64_t t = 0;
+    for (unsigned row = 0; row < rows; ++row) {
+      if (row & (1u << i)) t |= std::uint64_t{1} << row;
+    }
+    return t;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError("bool expr '" + text_ + "' pos " + std::to_string(pos_),
+                     msg);
+  }
+
+  const std::string& text_;
+  const std::vector<std::string>& names_;
+  std::uint64_t ones_ = 0;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+LogicFn parse_bool_expr(const std::string& expr,
+                        const std::vector<std::string>& input_names) {
+  return ExprParser(expr, input_names).parse();
+}
+
+}  // namespace secflow

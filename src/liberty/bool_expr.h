@@ -1,0 +1,20 @@
+// Boolean expression parser for Liberty `function` attributes.
+//
+// Supported syntax: identifiers, constants 0/1, parentheses, and operators
+// ! (or postfix ') & (or *) ^ | (or +), with precedence ! > & > ^ > |.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/logic_fn.h"
+
+namespace secflow {
+
+/// Parse `expr` into a LogicFn over `input_names` (which defines variable
+/// order: input_names[i] is LogicFn input i).  Throws ParseError on syntax
+/// errors or unknown identifiers.
+LogicFn parse_bool_expr(const std::string& expr,
+                        const std::vector<std::string>& input_names);
+
+}  // namespace secflow

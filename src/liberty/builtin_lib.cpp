@@ -1,0 +1,188 @@
+#include "liberty/builtin_lib.h"
+
+#include "liberty/liberty_parser.h"
+
+namespace secflow {
+
+const std::string& builtin_stdcell018_liberty() {
+  // Areas are width*height with height 5.04 um; caps in fF, delays in ps,
+  // resistances in kohm.  Values are representative of published 180 nm
+  // standard-cell data (not vendor-exact; see DESIGN.md section 1).
+  static const std::string kText = R"LIB(
+library(stdcell018) {
+  cell(INV) {
+    area : 6.6528; width : 1.32; height : 5.04;
+    intrinsic_delay : 22; drive_resistance : 4.2; internal_cap : 0.8;
+    pin(A) { direction : input; capacitance : 2.0; }
+    pin(Y) { direction : output; function : "!A"; }
+  }
+  cell(BUF) {
+    area : 9.9792; width : 1.98; height : 5.04;
+    intrinsic_delay : 45; drive_resistance : 3.2; internal_cap : 1.4;
+    pin(A) { direction : input; capacitance : 1.8; }
+    pin(Y) { direction : output; function : "A"; }
+  }
+  cell(NAND2) {
+    area : 9.9792; width : 1.98; height : 5.04;
+    intrinsic_delay : 32; drive_resistance : 4.6; internal_cap : 1.1;
+    pin(A) { direction : input; capacitance : 2.1; }
+    pin(B) { direction : input; capacitance : 2.1; }
+    pin(Y) { direction : output; function : "!(A&B)"; }
+  }
+  cell(NAND3) {
+    area : 13.3056; width : 2.64; height : 5.04;
+    intrinsic_delay : 41; drive_resistance : 5.0; internal_cap : 1.5;
+    pin(A) { direction : input; capacitance : 2.2; }
+    pin(B) { direction : input; capacitance : 2.2; }
+    pin(C) { direction : input; capacitance : 2.2; }
+    pin(Y) { direction : output; function : "!(A&B&C)"; }
+  }
+  cell(NOR2) {
+    area : 9.9792; width : 1.98; height : 5.04;
+    intrinsic_delay : 38; drive_resistance : 5.4; internal_cap : 1.1;
+    pin(A) { direction : input; capacitance : 2.1; }
+    pin(B) { direction : input; capacitance : 2.1; }
+    pin(Y) { direction : output; function : "!(A|B)"; }
+  }
+  cell(NOR3) {
+    area : 13.3056; width : 2.64; height : 5.04;
+    intrinsic_delay : 52; drive_resistance : 6.1; internal_cap : 1.5;
+    pin(A) { direction : input; capacitance : 2.2; }
+    pin(B) { direction : input; capacitance : 2.2; }
+    pin(C) { direction : input; capacitance : 2.2; }
+    pin(Y) { direction : output; function : "!(A|B|C)"; }
+  }
+  cell(AND2) {
+    area : 13.3056; width : 2.64; height : 5.04;
+    intrinsic_delay : 55; drive_resistance : 3.8; internal_cap : 1.6;
+    pin(A) { direction : input; capacitance : 1.9; }
+    pin(B) { direction : input; capacitance : 1.9; }
+    pin(Y) { direction : output; function : "A&B"; }
+  }
+  cell(AND3) {
+    area : 16.632; width : 3.30; height : 5.04;
+    intrinsic_delay : 62; drive_resistance : 3.9; internal_cap : 2.0;
+    pin(A) { direction : input; capacitance : 2.0; }
+    pin(B) { direction : input; capacitance : 2.0; }
+    pin(C) { direction : input; capacitance : 2.0; }
+    pin(Y) { direction : output; function : "A&B&C"; }
+  }
+  cell(OR2) {
+    area : 13.3056; width : 2.64; height : 5.04;
+    intrinsic_delay : 58; drive_resistance : 3.8; internal_cap : 1.6;
+    pin(A) { direction : input; capacitance : 1.9; }
+    pin(B) { direction : input; capacitance : 1.9; }
+    pin(Y) { direction : output; function : "A|B"; }
+  }
+  cell(OR3) {
+    area : 16.632; width : 3.30; height : 5.04;
+    intrinsic_delay : 68; drive_resistance : 3.9; internal_cap : 2.0;
+    pin(A) { direction : input; capacitance : 2.0; }
+    pin(B) { direction : input; capacitance : 2.0; }
+    pin(C) { direction : input; capacitance : 2.0; }
+    pin(Y) { direction : output; function : "A|B|C"; }
+  }
+  cell(XOR2) {
+    area : 23.2848; width : 4.62; height : 5.04;
+    intrinsic_delay : 75; drive_resistance : 4.4; internal_cap : 2.6;
+    pin(A) { direction : input; capacitance : 2.9; }
+    pin(B) { direction : input; capacitance : 2.9; }
+    pin(Y) { direction : output; function : "A^B"; }
+  }
+  cell(XNOR2) {
+    area : 23.2848; width : 4.62; height : 5.04;
+    intrinsic_delay : 75; drive_resistance : 4.4; internal_cap : 2.6;
+    pin(A) { direction : input; capacitance : 2.9; }
+    pin(B) { direction : input; capacitance : 2.9; }
+    pin(Y) { direction : output; function : "!(A^B)"; }
+  }
+  cell(AOI21) {
+    area : 13.3056; width : 2.64; height : 5.04;
+    intrinsic_delay : 44; drive_resistance : 5.2; internal_cap : 1.4;
+    pin(A0) { direction : input; capacitance : 2.2; }
+    pin(A1) { direction : input; capacitance : 2.2; }
+    pin(B0) { direction : input; capacitance : 2.2; }
+    pin(Y) { direction : output; function : "!((A0&A1)|B0)"; }
+  }
+  cell(AOI22) {
+    area : 16.632; width : 3.30; height : 5.04;
+    intrinsic_delay : 50; drive_resistance : 5.5; internal_cap : 1.8;
+    pin(A0) { direction : input; capacitance : 2.3; }
+    pin(A1) { direction : input; capacitance : 2.3; }
+    pin(B0) { direction : input; capacitance : 2.3; }
+    pin(B1) { direction : input; capacitance : 2.3; }
+    pin(Y) { direction : output; function : "!((A0&A1)|(B0&B1))"; }
+  }
+  cell(AOI32) {
+    area : 19.9584; width : 3.96; height : 5.04;
+    intrinsic_delay : 57; drive_resistance : 5.8; internal_cap : 2.2;
+    pin(A0) { direction : input; capacitance : 2.4; }
+    pin(A1) { direction : input; capacitance : 2.4; }
+    pin(A2) { direction : input; capacitance : 2.4; }
+    pin(B0) { direction : input; capacitance : 2.4; }
+    pin(B1) { direction : input; capacitance : 2.4; }
+    pin(Y) { direction : output; function : "!((A0&A1&A2)|(B0&B1))"; }
+  }
+  cell(OAI21) {
+    area : 13.3056; width : 2.64; height : 5.04;
+    intrinsic_delay : 44; drive_resistance : 5.2; internal_cap : 1.4;
+    pin(A0) { direction : input; capacitance : 2.2; }
+    pin(A1) { direction : input; capacitance : 2.2; }
+    pin(B0) { direction : input; capacitance : 2.2; }
+    pin(Y) { direction : output; function : "!((A0|A1)&B0)"; }
+  }
+  cell(OAI22) {
+    area : 16.632; width : 3.30; height : 5.04;
+    intrinsic_delay : 50; drive_resistance : 5.5; internal_cap : 1.8;
+    pin(A0) { direction : input; capacitance : 2.3; }
+    pin(A1) { direction : input; capacitance : 2.3; }
+    pin(B0) { direction : input; capacitance : 2.3; }
+    pin(B1) { direction : input; capacitance : 2.3; }
+    pin(Y) { direction : output; function : "!((A0|A1)&(B0|B1))"; }
+  }
+  cell(MUX2) {
+    area : 23.2848; width : 4.62; height : 5.04;
+    intrinsic_delay : 70; drive_resistance : 4.3; internal_cap : 2.4;
+    pin(D0) { direction : input; capacitance : 2.1; }
+    pin(D1) { direction : input; capacitance : 2.1; }
+    pin(S) { direction : input; capacitance : 2.7; }
+    pin(Y) { direction : output; function : "(D0&!S)|(D1&S)"; }
+  }
+  cell(DFF) {
+    area : 46.5696; width : 9.24; height : 5.04;
+    intrinsic_delay : 180; drive_resistance : 4.0; internal_cap : 4.5;
+    ff : true;
+    pin(D) { direction : input; capacitance : 2.0; }
+    pin(CK) { direction : input; capacitance : 1.6; }
+    pin(Q) { direction : output; }
+  }
+  cell(DFFN) {
+    area : 46.5696; width : 9.24; height : 5.04;
+    intrinsic_delay : 180; drive_resistance : 4.0; internal_cap : 4.5;
+    ff_negedge : true;
+    pin(D) { direction : input; capacitance : 2.0; }
+    pin(CK) { direction : input; capacitance : 1.6; }
+    pin(Q) { direction : output; }
+  }
+  cell(TIE0) {
+    area : 6.6528; width : 1.32; height : 5.04;
+    intrinsic_delay : 0; drive_resistance : 8.0; internal_cap : 0.0;
+    tie : true;
+    pin(Y) { direction : output; function : "0"; }
+  }
+  cell(TIE1) {
+    area : 6.6528; width : 1.32; height : 5.04;
+    intrinsic_delay : 0; drive_resistance : 8.0; internal_cap : 0.0;
+    tie : true;
+    pin(Y) { direction : output; function : "1"; }
+  }
+}
+)LIB";
+  return kText;
+}
+
+std::shared_ptr<CellLibrary> builtin_stdcell018() {
+  return parse_liberty(builtin_stdcell018_liberty());
+}
+
+}  // namespace secflow

@@ -1,0 +1,26 @@
+// Built-in single-ended standard-cell library ("stdcell018").
+//
+// A representative 0.18 um, 1.8 V static CMOS library: the cell set a
+// vendor kit would offer for synthesis, with areas/footprints on a 5.04 um
+// row grid and first-order electrical data.  This plays the role of the
+// vendor lib the paper's flow starts from; the WDDL compound library is
+// generated from it (src/wddl/wddl_library.h).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "netlist/cell_library.h"
+
+namespace secflow {
+
+/// The Liberty-lite source text of the built-in library.
+const std::string& builtin_stdcell018_liberty();
+
+/// Parse and return the built-in library (fresh instance per call).
+std::shared_ptr<CellLibrary> builtin_stdcell018();
+
+/// Uniform standard-cell row height of the built-in library [um].
+inline constexpr double kRowHeightUm = 5.04;
+
+}  // namespace secflow

@@ -1,0 +1,343 @@
+#include "liberty/liberty_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "base/error.h"
+#include "liberty/bool_expr.h"
+
+namespace secflow {
+namespace {
+
+class LibertyLexer {
+ public:
+  explicit LibertyLexer(const std::string& text) : text_(text) {}
+
+  struct Token {
+    enum Kind { kIdent, kNumber, kString, kPunct, kEnd } kind = kEnd;
+    std::string text;
+    int line = 0;
+  };
+
+  Token next() {
+    skip();
+    if (pos_ >= text_.size()) return {Token::kEnd, "", line_};
+    const char c = text_[pos_];
+    if (c == '"') {
+      ++pos_;
+      std::string s;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\n') ++line_;
+        s += text_[pos_++];
+      }
+      if (pos_ >= text_.size()) {
+        throw ParseError("liberty line " + std::to_string(line_),
+                         "unterminated string");
+      }
+      ++pos_;
+      return {Token::kString, s, line_};
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string s;
+      while (pos_ < text_.size()) {
+        const char d = text_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '_') {
+          s += d;
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      return {Token::kIdent, s, line_};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '.') {
+      std::string s;
+      while (pos_ < text_.size()) {
+        const char d = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(d)) || d == '.' ||
+            d == '-' || d == '+' || d == 'e' || d == 'E') {
+          s += d;
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      return {Token::kNumber, s, line_};
+    }
+    ++pos_;
+    return {Token::kPunct, std::string(1, c), line_};
+  }
+
+ private:
+  void skip() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, text_.size());
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+struct PinSpec {
+  PinDef def;
+  std::string function;  // output pins only
+};
+
+class LibertyParser {
+ public:
+  explicit LibertyParser(const std::string& text) : lexer_(text) { advance(); }
+
+  std::shared_ptr<CellLibrary> parse() {
+    expect_ident("library");
+    expect_punct("(");
+    const std::string lib_name = expect_name("library name");
+    expect_punct(")");
+    expect_punct("{");
+    auto lib = std::make_shared<CellLibrary>(lib_name);
+    while (!at_punct("}")) {
+      expect_ident("cell");
+      lib->add(parse_cell());
+    }
+    expect_punct("}");
+    lib->validate();
+    return lib;
+  }
+
+ private:
+  CellType parse_cell() {
+    expect_punct("(");
+    CellType cell;
+    cell.name = expect_name("cell name");
+    expect_punct(")");
+    expect_punct("{");
+    std::vector<PinSpec> pins;
+    bool is_ff = false, is_tie = false;
+    while (!at_punct("}")) {
+      const std::string key = expect_name("attribute or pin");
+      if (key == "pin") {
+        pins.push_back(parse_pin());
+        continue;
+      }
+      expect_punct(":");
+      const std::string value = expect_value();
+      expect_punct(";");
+      if (key == "area") {
+        cell.area_um2 = to_double(value);
+      } else if (key == "width") {
+        cell.width_um = to_double(value);
+      } else if (key == "height") {
+        cell.height_um = to_double(value);
+      } else if (key == "intrinsic_delay") {
+        cell.intrinsic_delay_ps = to_double(value);
+      } else if (key == "drive_resistance") {
+        cell.drive_res_kohm = to_double(value);
+      } else if (key == "internal_cap") {
+        cell.internal_cap_ff = to_double(value);
+      } else if (key == "ff") {
+        is_ff = (value == "true" || value == "1");
+      } else if (key == "ff_negedge") {
+        if (value == "true" || value == "1") {
+          is_ff = true;
+          cell.negedge_clock = true;
+        }
+      } else if (key == "tie") {
+        is_tie = (value == "true" || value == "1");
+      }
+      // Unknown attributes are ignored (Liberty files carry many).
+    }
+    expect_punct("}");
+
+    SECFLOW_CHECK(!(is_ff && is_tie), "cell " + cell.name + " ff and tie");
+    cell.kind = is_ff    ? CellKind::kFlop
+                : is_tie ? CellKind::kTie
+                         : CellKind::kCombinational;
+    std::vector<std::string> input_names;
+    std::string out_function;
+    for (const PinSpec& p : pins) {
+      cell.pins.push_back(p.def);
+      if (p.def.dir == PinDir::kInput) {
+        input_names.push_back(p.def.name);
+      } else {
+        out_function = p.function;
+      }
+    }
+    switch (cell.kind) {
+      case CellKind::kCombinational:
+        if (out_function.empty()) {
+          fail("cell " + cell.name + " output has no function");
+        }
+        cell.function = parse_bool_expr(out_function, input_names);
+        break;
+      case CellKind::kFlop:
+        cell.function = LogicFn::identity();
+        break;
+      case CellKind::kTie:
+        if (out_function.empty()) {
+          fail("tie cell " + cell.name + " needs function \"0\" or \"1\"");
+        }
+        cell.function = parse_bool_expr(out_function, {});
+        break;
+    }
+    if (cell.width_um <= 0 && cell.height_um > 0 && cell.area_um2 > 0) {
+      cell.width_um = cell.area_um2 / cell.height_um;
+    }
+    return cell;
+  }
+
+  PinSpec parse_pin() {
+    expect_punct("(");
+    PinSpec pin;
+    pin.def.name = expect_name("pin name");
+    expect_punct(")");
+    expect_punct("{");
+    while (!at_punct("}")) {
+      const std::string key = expect_name("pin attribute");
+      expect_punct(":");
+      const std::string value = expect_value();
+      expect_punct(";");
+      if (key == "direction") {
+        if (value == "input") {
+          pin.def.dir = PinDir::kInput;
+        } else if (value == "output") {
+          pin.def.dir = PinDir::kOutput;
+        } else {
+          fail("bad pin direction: " + value);
+        }
+      } else if (key == "capacitance") {
+        pin.def.cap_ff = to_double(value);
+      } else if (key == "function") {
+        pin.function = value;
+      }
+      // clock : true etc. are accepted and ignored (CK is found by name).
+    }
+    expect_punct("}");
+    return pin;
+  }
+
+  double to_double(const std::string& s) {
+    try {
+      return std::stod(s);
+    } catch (const std::exception&) {
+      fail("expected number, got '" + s + "'");
+    }
+  }
+
+  void advance() { cur_ = lexer_.next(); }
+  [[noreturn]] void fail(const std::string& msg) {
+    throw ParseError("liberty line " + std::to_string(cur_.line), msg);
+  }
+  bool at_punct(const std::string& p) const {
+    return cur_.kind == LibertyLexer::Token::kPunct && cur_.text == p;
+  }
+  void expect_punct(const std::string& p) {
+    if (!at_punct(p)) fail("expected '" + p + "', got '" + cur_.text + "'");
+    advance();
+  }
+  void expect_ident(const std::string& s) {
+    if (cur_.kind != LibertyLexer::Token::kIdent || cur_.text != s) {
+      fail("expected '" + s + "', got '" + cur_.text + "'");
+    }
+    advance();
+  }
+  /// Identifier or number token (cell names like AOI32 lex as ident).
+  std::string expect_name(const std::string& what) {
+    if (cur_.kind != LibertyLexer::Token::kIdent &&
+        cur_.kind != LibertyLexer::Token::kNumber) {
+      fail("expected " + what + ", got '" + cur_.text + "'");
+    }
+    std::string s = cur_.text;
+    advance();
+    return s;
+  }
+  /// Attribute value: ident, number or quoted string.
+  std::string expect_value() {
+    if (cur_.kind == LibertyLexer::Token::kEnd ||
+        cur_.kind == LibertyLexer::Token::kPunct) {
+      fail("expected value, got '" + cur_.text + "'");
+    }
+    std::string s = cur_.text;
+    advance();
+    return s;
+  }
+
+  LibertyLexer lexer_;
+  LibertyLexer::Token cur_;
+};
+
+}  // namespace
+
+std::shared_ptr<CellLibrary> parse_liberty(const std::string& text) {
+  return LibertyParser(text).parse();
+}
+
+std::shared_ptr<CellLibrary> parse_liberty_file(const std::string& path) {
+  std::ifstream f(path);
+  SECFLOW_CHECK(f.good(), "cannot open: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_liberty(ss.str());
+}
+
+std::string write_liberty(const CellLibrary& lib) {
+  std::ostringstream os;
+  os << "library(" << lib.name() << ") {\n";
+  for (CellTypeId id : lib.all()) {
+    const CellType& c = lib.cell(id);
+    os << "  cell(" << c.name << ") {\n";
+    os << "    area : " << c.area_um2 << ";\n";
+    os << "    width : " << c.width_um << ";\n";
+    os << "    height : " << c.height_um << ";\n";
+    os << "    intrinsic_delay : " << c.intrinsic_delay_ps << ";\n";
+    os << "    drive_resistance : " << c.drive_res_kohm << ";\n";
+    os << "    internal_cap : " << c.internal_cap_ff << ";\n";
+    if (c.kind == CellKind::kFlop) {
+      os << (c.negedge_clock ? "    ff_negedge : true;\n" : "    ff : true;\n");
+    }
+    if (c.kind == CellKind::kTie) os << "    tie : true;\n";
+    std::vector<std::string> input_names;
+    for (const PinDef& p : c.pins) {
+      if (p.dir == PinDir::kInput) input_names.push_back(p.name);
+    }
+    for (const PinDef& p : c.pins) {
+      os << "    pin(" << p.name << ") {\n";
+      os << "      direction : " << (p.dir == PinDir::kInput ? "input" : "output")
+         << ";\n";
+      if (p.dir == PinDir::kInput) {
+        os << "      capacitance : " << p.cap_ff << ";\n";
+      } else if (c.kind == CellKind::kCombinational ||
+                 c.kind == CellKind::kTie) {
+        os << "      function : \"" << c.function.to_sop_string(input_names)
+           << "\";\n";
+      }
+      os << "    }\n";
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace secflow

@@ -1,0 +1,100 @@
+#include "netlist/cell_library.h"
+
+#include "base/error.h"
+
+namespace secflow {
+
+int CellType::n_inputs() const {
+  int n = 0;
+  for (const PinDef& p : pins) {
+    if (p.dir == PinDir::kInput) ++n;
+  }
+  return n;
+}
+
+int CellType::output_pin() const {
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    if (pins[i].dir == PinDir::kOutput) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> CellType::input_pins() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    if (pins[i].dir == PinDir::kInput) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+int CellType::pin_index(const std::string& pin_name) const {
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    if (pins[i].name == pin_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int CellType::d_pin() const { return pin_index("D"); }
+int CellType::ck_pin() const { return pin_index("CK"); }
+
+CellTypeId CellLibrary::add(CellType cell) {
+  SECFLOW_CHECK(!by_name_.contains(cell.name),
+                "duplicate cell type: " + cell.name);
+  const CellTypeId id(static_cast<std::int32_t>(cells_.size()));
+  by_name_.emplace(cell.name, id);
+  cells_.push_back(std::move(cell));
+  return id;
+}
+
+const CellType& CellLibrary::cell(CellTypeId id) const {
+  SECFLOW_CHECK(id.valid() && id.index() < cells_.size(), "bad CellTypeId");
+  return cells_[id.index()];
+}
+
+CellTypeId CellLibrary::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? CellTypeId{} : it->second;
+}
+
+const CellType& CellLibrary::cell(const std::string& name) const {
+  const CellTypeId id = find(name);
+  SECFLOW_CHECK(id.valid(), "unknown cell type: " + name);
+  return cells_[id.index()];
+}
+
+std::vector<CellTypeId> CellLibrary::all() const {
+  std::vector<CellTypeId> out;
+  out.reserve(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    out.emplace_back(static_cast<std::int32_t>(i));
+  }
+  return out;
+}
+
+void CellLibrary::validate() const {
+  for (const CellType& c : cells_) {
+    int n_out = 0;
+    for (const PinDef& p : c.pins) {
+      if (p.dir == PinDir::kOutput) ++n_out;
+    }
+    SECFLOW_CHECK(n_out == 1, "cell " + c.name + " must have exactly 1 output");
+    switch (c.kind) {
+      case CellKind::kCombinational:
+        SECFLOW_CHECK(c.function.n_inputs() == c.n_inputs(),
+                      "cell " + c.name + " function arity mismatch");
+        break;
+      case CellKind::kFlop:
+        SECFLOW_CHECK(c.d_pin() >= 0 && c.ck_pin() >= 0,
+                      "flop " + c.name + " needs D and CK pins");
+        break;
+      case CellKind::kTie:
+        SECFLOW_CHECK(c.n_inputs() == 0, "tie " + c.name + " takes no inputs");
+        break;
+    }
+    SECFLOW_CHECK(c.area_um2 > 0.0, "cell " + c.name + " has no area");
+    SECFLOW_CHECK(c.width_um > 0.0 && c.height_um > 0.0,
+                  "cell " + c.name + " has no footprint");
+  }
+}
+
+}  // namespace secflow

@@ -1,0 +1,135 @@
+#include "netlist/logic_fn.h"
+
+#include <bit>
+
+#include "base/error.h"
+
+namespace secflow {
+
+LogicFn::LogicFn(int n_inputs, std::uint64_t table) : n_inputs_(n_inputs) {
+  SECFLOW_CHECK(n_inputs >= 0 && n_inputs <= kMaxInputs,
+                "LogicFn supports 0..6 inputs");
+  table_ = table & mask();
+}
+
+LogicFn LogicFn::constant(bool value) {
+  return LogicFn(0, value ? 1u : 0u);
+}
+
+LogicFn LogicFn::identity() { return LogicFn(1, 0b10); }
+LogicFn LogicFn::inverter() { return LogicFn(1, 0b01); }
+
+LogicFn LogicFn::and_n(int n) {
+  SECFLOW_CHECK(n >= 1 && n <= kMaxInputs, "and_n arity");
+  const unsigned rows = 1u << n;
+  return LogicFn(n, std::uint64_t{1} << (rows - 1));
+}
+
+LogicFn LogicFn::or_n(int n) {
+  SECFLOW_CHECK(n >= 1 && n <= kMaxInputs, "or_n arity");
+  return and_n(n).dual();
+}
+
+LogicFn LogicFn::nand_n(int n) { return and_n(n).complemented(); }
+LogicFn LogicFn::nor_n(int n) { return or_n(n).complemented(); }
+
+LogicFn LogicFn::xor_n(int n) {
+  SECFLOW_CHECK(n >= 1 && n <= kMaxInputs, "xor_n arity");
+  std::uint64_t t = 0;
+  const unsigned rows = 1u << n;
+  for (unsigned i = 0; i < rows; ++i) {
+    if (std::popcount(i) & 1) t |= std::uint64_t{1} << i;
+  }
+  return LogicFn(n, t);
+}
+
+LogicFn LogicFn::xnor_n(int n) { return xor_n(n).complemented(); }
+
+LogicFn LogicFn::mux2() {
+  // inputs: bit0=d0, bit1=d1, bit2=sel
+  std::uint64_t t = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    const bool d0 = i & 1, d1 = i & 2, sel = i & 4;
+    if (sel ? d1 : d0) t |= std::uint64_t{1} << i;
+  }
+  return LogicFn(3, t);
+}
+
+bool LogicFn::eval(std::uint64_t inputs) const {
+  const std::uint64_t row = inputs & ((std::uint64_t{1} << n_inputs_) - 1);
+  return (table_ >> row) & 1;
+}
+
+LogicFn LogicFn::complemented() const {
+  return LogicFn(n_inputs_, ~table_ & mask());
+}
+
+LogicFn LogicFn::dual() const {
+  const unsigned rows = 1u << n_inputs_;
+  std::uint64_t t = 0;
+  for (unsigned i = 0; i < rows; ++i) {
+    const std::uint64_t flipped = ~i & (rows - 1);
+    if (!((table_ >> flipped) & 1)) t |= std::uint64_t{1} << i;
+  }
+  return LogicFn(n_inputs_, t);
+}
+
+LogicFn LogicFn::with_input_inverted(int i) const {
+  SECFLOW_CHECK(i >= 0 && i < n_inputs_, "input index");
+  const unsigned rows = 1u << n_inputs_;
+  std::uint64_t t = 0;
+  for (unsigned row = 0; row < rows; ++row) {
+    const unsigned src = row ^ (1u << i);
+    if ((table_ >> src) & 1) t |= std::uint64_t{1} << row;
+  }
+  return LogicFn(n_inputs_, t);
+}
+
+bool LogicFn::is_positive_unate() const {
+  const unsigned rows = 1u << n_inputs_;
+  for (int i = 0; i < n_inputs_; ++i) {
+    for (unsigned row = 0; row < rows; ++row) {
+      if (row & (1u << i)) continue;  // consider rows with input i == 0
+      const bool lo = (table_ >> row) & 1;
+      const bool hi = (table_ >> (row | (1u << i))) & 1;
+      if (lo && !hi) return false;
+    }
+  }
+  return true;
+}
+
+bool LogicFn::depends_on(int i) const {
+  SECFLOW_CHECK(i >= 0 && i < n_inputs_, "input index");
+  const unsigned rows = 1u << n_inputs_;
+  for (unsigned row = 0; row < rows; ++row) {
+    if (row & (1u << i)) continue;
+    if (((table_ >> row) & 1) != ((table_ >> (row | (1u << i))) & 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int LogicFn::onset_size() const { return std::popcount(table_ & mask()); }
+
+std::string LogicFn::to_sop_string(
+    const std::vector<std::string>& input_names) const {
+  SECFLOW_CHECK(static_cast<int>(input_names.size()) >= n_inputs_,
+                "input_names too short");
+  if (table_ == 0) return "0";
+  if ((table_ & mask()) == mask()) return "1";
+  std::string out;
+  const unsigned rows = 1u << n_inputs_;
+  for (unsigned row = 0; row < rows; ++row) {
+    if (!((table_ >> row) & 1)) continue;
+    if (!out.empty()) out += " | ";
+    for (int i = 0; i < n_inputs_; ++i) {
+      if (i) out += "&";
+      if (!(row & (1u << i))) out += "!";
+      out += input_names[static_cast<std::size_t>(i)];
+    }
+  }
+  return out;
+}
+
+}  // namespace secflow

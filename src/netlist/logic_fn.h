@@ -1,0 +1,75 @@
+// Boolean functions of up to kMaxInputs variables, stored as truth tables.
+//
+// A LogicFn with n inputs stores its truth table in the low 2^n bits of a
+// 64-bit word: bit i is the output for the input assignment whose j-th bit
+// is ((i >> j) & 1).  Input 0 is the least significant selector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace secflow {
+
+class LogicFn {
+ public:
+  static constexpr int kMaxInputs = 6;
+
+  LogicFn() = default;
+  /// Build from an explicit truth table; bits above 2^n are ignored.
+  LogicFn(int n_inputs, std::uint64_t table);
+
+  static LogicFn constant(bool value);
+  static LogicFn identity();                    ///< buffer, 1 input
+  static LogicFn inverter();                    ///< NOT, 1 input
+  static LogicFn and_n(int n);
+  static LogicFn or_n(int n);
+  static LogicFn nand_n(int n);
+  static LogicFn nor_n(int n);
+  static LogicFn xor_n(int n);
+  static LogicFn xnor_n(int n);
+  /// 2:1 mux: inputs (d0, d1, sel); output = sel ? d1 : d0.
+  static LogicFn mux2();
+
+  int n_inputs() const { return n_inputs_; }
+  std::uint64_t table() const { return table_; }
+
+  /// Evaluate for the input assignment packed into the low bits of `inputs`.
+  bool eval(std::uint64_t inputs) const;
+
+  /// Complemented function.
+  LogicFn complemented() const;
+  /// Dual function: f_dual(x) = !f(!x).  WDDL false-rail gates compute the
+  /// dual of the true-rail function.
+  LogicFn dual() const;
+  /// Function with input `i` complemented.
+  LogicFn with_input_inverted(int i) const;
+
+  /// True if the function never decreases when any input goes 0 -> 1.
+  /// Positive-monotone functions are exactly those a WDDL compound may use
+  /// internally (the precharge wave then propagates: all-0 in => 0 out).
+  bool is_positive_unate() const;
+
+  /// True if input i affects the output for some assignment of the others.
+  bool depends_on(int i) const;
+
+  /// Number of minterms (input assignments with output 1).
+  int onset_size() const;
+
+  /// Canonical text like "A&B|!C" reconstructed as sum-of-products (for
+  /// diagnostics only; not parsed back).
+  std::string to_sop_string(const std::vector<std::string>& input_names) const;
+
+  friend bool operator==(const LogicFn&, const LogicFn&) = default;
+
+ private:
+  int n_inputs_ = 0;
+  std::uint64_t table_ = 0;
+
+  std::uint64_t mask() const {
+    return n_inputs_ >= 6 ? ~std::uint64_t{0}
+                          : ((std::uint64_t{1} << (1u << n_inputs_)) - 1);
+  }
+};
+
+}  // namespace secflow

@@ -1,0 +1,161 @@
+#include "netlist/netlist_ops.h"
+
+#include "base/error.h"
+
+namespace secflow {
+
+InstId add_gate(Netlist& nl, const std::string& cell_name,
+                const std::string& inst_name, const std::vector<NetId>& inputs,
+                NetId output) {
+  const CellTypeId cell = nl.library().find(cell_name);
+  SECFLOW_CHECK(cell.valid(), "unknown cell: " + cell_name);
+  const CellType& type = nl.library().cell(cell);
+  const std::vector<int> in_pins = type.input_pins();
+  SECFLOW_CHECK(in_pins.size() == inputs.size(),
+                "gate " + cell_name + " input count mismatch");
+  const InstId inst = nl.add_instance(inst_name, cell);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    nl.connect(inst, in_pins[i], inputs[i]);
+  }
+  if (type.output_pin() >= 0 && output.valid()) {
+    nl.connect(inst, type.output_pin(), output);
+  }
+  return inst;
+}
+
+InstId add_flop(Netlist& nl, const std::string& cell_name,
+                const std::string& inst_name, NetId d, NetId ck, NetId q) {
+  const CellTypeId cell = nl.library().find(cell_name);
+  SECFLOW_CHECK(cell.valid(), "unknown cell: " + cell_name);
+  const CellType& type = nl.library().cell(cell);
+  SECFLOW_CHECK(type.kind == CellKind::kFlop, cell_name + " is not a flop");
+  const InstId inst = nl.add_instance(inst_name, cell);
+  nl.connect(inst, type.d_pin(), d);
+  nl.connect(inst, type.ck_pin(), ck);
+  nl.connect(inst, type.output_pin(), q);
+  return inst;
+}
+
+std::unordered_map<std::string, int> cell_histogram(const Netlist& nl) {
+  std::unordered_map<std::string, int> hist;
+  for (InstId id : nl.instance_ids()) {
+    ++hist[nl.cell_of(id).name];
+  }
+  return hist;
+}
+
+FunctionalSim::FunctionalSim(const Netlist& nl)
+    : nl_(nl),
+      topo_(nl.topological_order()),
+      net_val_(nl.n_nets(), 0),
+      flop_state_(nl.n_instances(), 0),
+      port_drive_(nl.n_ports(), 0) {}
+
+void FunctionalSim::set_input(const std::string& port_name, bool value) {
+  const PortId pid = nl_.find_port(port_name);
+  SECFLOW_CHECK(pid.valid(), "unknown port: " + port_name);
+  set_input(pid, value);
+}
+
+void FunctionalSim::set_input(PortId pid, bool value) {
+  SECFLOW_CHECK(nl_.port(pid).dir == PinDir::kInput,
+                "not an input port: " + nl_.port(pid).name);
+  port_drive_[pid.index()] = value ? 1 : 0;
+}
+
+bool FunctionalSim::eval_instance(const Instance& in,
+                                  const CellType& type) const {
+  std::uint64_t bits = 0;
+  int k = 0;
+  for (int pin : type.input_pins()) {
+    const NetId net = in.conns[static_cast<std::size_t>(pin)];
+    SECFLOW_CHECK(net.valid(), "floating input during simulation: " + in.name);
+    if (net_val_[net.index()]) bits |= std::uint64_t{1} << k;
+    ++k;
+  }
+  return type.function.eval(bits);
+}
+
+void FunctionalSim::propagate() {
+  // Input ports drive their nets.
+  for (PortId pid : nl_.port_ids()) {
+    const Port& p = nl_.port(pid);
+    if (p.dir == PinDir::kInput) {
+      net_val_[p.net.index()] = port_drive_[pid.index()];
+    }
+  }
+  // Flop outputs and ties drive first, then combinational gates settle in
+  // one topological pass.  (The topological order guarantees gate-to-gate
+  // dependencies; sequential sources must be driven before any gate runs.)
+  for (InstId id : topo_) {
+    const Instance& in = nl_.instance(id);
+    const CellType& type = nl_.library().cell(in.cell);
+    if (type.kind == CellKind::kCombinational) continue;
+    const int out_pin = type.output_pin();
+    if (out_pin < 0) continue;
+    const NetId out = in.conns[static_cast<std::size_t>(out_pin)];
+    if (!out.valid()) continue;
+    net_val_[out.index()] = type.kind == CellKind::kFlop
+                                ? flop_state_[id.index()]
+                                : (type.function.eval(0) ? 1 : 0);
+  }
+  for (InstId id : topo_) {
+    const Instance& in = nl_.instance(id);
+    const CellType& type = nl_.library().cell(in.cell);
+    if (type.kind != CellKind::kCombinational) continue;
+    const int out_pin = type.output_pin();
+    if (out_pin < 0) continue;
+    const NetId out = in.conns[static_cast<std::size_t>(out_pin)];
+    if (!out.valid()) continue;
+    net_val_[out.index()] = eval_instance(in, type) ? 1 : 0;
+  }
+}
+
+void FunctionalSim::step_edge(bool rising) {
+  // Capture all matching D inputs simultaneously from the settled values...
+  std::vector<char> next(flop_state_);
+  for (InstId id : nl_.instance_ids()) {
+    const Instance& in = nl_.instance(id);
+    const CellType& type = nl_.library().cell(in.cell);
+    if (type.kind != CellKind::kFlop) continue;
+    if (type.negedge_clock == rising) continue;
+    const NetId d = in.conns[static_cast<std::size_t>(type.d_pin())];
+    SECFLOW_CHECK(d.valid(), "flop with floating D: " + in.name);
+    // Apply the flop's input function (identity for DFF; an inverting
+    // variant models WDDL's rail-swapped register input).
+    next[id.index()] =
+        type.function.eval(net_val_[d.index()] ? 1 : 0) ? 1 : 0;
+  }
+  flop_state_ = std::move(next);
+  // ...then settle the new half-cycle.
+  propagate();
+}
+
+void FunctionalSim::set_flop_state(InstId flop, bool value) {
+  SECFLOW_CHECK(nl_.cell_of(flop).kind == CellKind::kFlop,
+                "not a flop: " + nl_.instance(flop).name);
+  flop_state_[flop.index()] = value ? 1 : 0;
+}
+
+bool FunctionalSim::net_value(NetId id) const {
+  SECFLOW_CHECK(id.valid() && id.index() < net_val_.size(), "bad net id");
+  return net_val_[id.index()] != 0;
+}
+
+bool FunctionalSim::net_value(const std::string& name) const {
+  const NetId id = nl_.find_net(name);
+  SECFLOW_CHECK(id.valid(), "unknown net: " + name);
+  return net_value(id);
+}
+
+bool FunctionalSim::output(const std::string& port_name) const {
+  const PortId pid = nl_.find_port(port_name);
+  SECFLOW_CHECK(pid.valid(), "unknown port: " + port_name);
+  return net_value(nl_.port(pid).net);
+}
+
+bool FunctionalSim::flop_state(InstId flop) const {
+  return flop_state_[flop.index()] != 0;
+}
+
+}  // namespace secflow

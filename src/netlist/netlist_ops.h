@@ -1,0 +1,71 @@
+// Convenience operations on netlists: gate construction helpers, statistics
+// and a zero-delay functional evaluator used by verification and tests.
+// (The timed, power-aware event simulator lives in src/sim.)
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace secflow {
+
+/// Create an instance of `cell_name`, connect `inputs` to its input pins in
+/// pin order and `output` to its output pin.  Returns the new instance.
+InstId add_gate(Netlist& nl, const std::string& cell_name,
+                const std::string& inst_name, const std::vector<NetId>& inputs,
+                NetId output);
+
+/// Create a D flip-flop instance (cell must be kFlop) with D, CK, Q nets.
+InstId add_flop(Netlist& nl, const std::string& cell_name,
+                const std::string& inst_name, NetId d, NetId ck, NetId q);
+
+/// Instance count per cell-type name.
+std::unordered_map<std::string, int> cell_histogram(const Netlist& nl);
+
+/// Zero-delay functional evaluation of a (possibly sequential) netlist.
+/// Combinational logic settles instantly; step_clock() models one rising
+/// clock edge on all flops.  Used by equivalence checks and unit tests.
+class FunctionalSim {
+ public:
+  explicit FunctionalSim(const Netlist& nl);
+
+  /// Drive an input port.  propagate() must be called before reading.
+  void set_input(const std::string& port_name, bool value);
+  void set_input(PortId port, bool value);
+
+  /// Settle all combinational logic from current inputs and flop states.
+  void propagate();
+
+  /// Rising clock edge: posedge flops capture D simultaneously, then
+  /// combinational logic settles.  Equivalent to step_edge(true).
+  void step_clock() { step_edge(true); }
+
+  /// One clock edge: flops sensitive to this edge (rising = plain DFF,
+  /// falling = negedge_clock cells) capture their D input — transformed by
+  /// the flop's function, identity for a plain DFF — then logic settles.
+  /// The clock's own net value (when the clock feeds gates, as in WDDL
+  /// compound registers) must be updated by the caller via set_input()
+  /// before calling this; capture uses pre-edge data values.
+  void step_edge(bool rising);
+
+  /// Force a flop's state (for test setup); call propagate() afterwards.
+  void set_flop_state(InstId flop, bool value);
+
+  bool net_value(NetId id) const;
+  bool net_value(const std::string& name) const;
+  bool output(const std::string& port_name) const;
+  bool flop_state(InstId flop) const;
+
+ private:
+  const Netlist& nl_;
+  std::vector<InstId> topo_;
+  std::vector<char> net_val_;
+  std::vector<char> flop_state_;   // indexed by instance id; valid for flops
+  std::vector<char> port_drive_;   // indexed by port id; input port values
+
+  bool eval_instance(const Instance& in, const CellType& type) const;
+};
+
+}  // namespace secflow

@@ -1,0 +1,20 @@
+// Structural-Verilog writer for flow artifacts (rtl.v, fat.v, diff.v).
+//
+// Output is the scalar structural subset accepted by verilog_parser.h:
+// module header with port list, input/output/wire declarations, and cell
+// instances with named port connections.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace secflow {
+
+/// Render `nl` as structural Verilog text.
+std::string write_verilog(const Netlist& nl);
+
+/// Write to a file; throws Error on I/O failure.
+void write_verilog_file(const Netlist& nl, const std::string& path);
+
+}  // namespace secflow

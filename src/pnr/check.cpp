@@ -1,0 +1,304 @@
+#include "pnr/check.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/error.h"
+
+namespace secflow {
+namespace {
+
+/// Union-find over small index sets.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// Distance from point `p` to segment `s` when p projects onto the span;
+/// otherwise distance to the nearest endpoint (Manhattan-ish, exact for
+/// axis-parallel segments).
+std::int64_t point_segment_distance(const Point& p, const Segment& s) {
+  const std::int64_t lx = std::min(s.a.x, s.b.x);
+  const std::int64_t hx = std::max(s.a.x, s.b.x);
+  const std::int64_t ly = std::min(s.a.y, s.b.y);
+  const std::int64_t hy = std::max(s.a.y, s.b.y);
+  const std::int64_t cx = std::clamp(p.x, lx, hx);
+  const std::int64_t cy = std::clamp(p.y, ly, hy);
+  return std::llabs(p.x - cx) + std::llabs(p.y - cy);
+}
+
+/// True when two same-layer axis-parallel segments touch (share a point).
+bool segments_touch(const Segment& a, const Segment& b) {
+  if (a.layer != b.layer) return false;
+  const Rect ra = Rect::spanning(a.a, a.b);
+  const Rect rb = Rect::spanning(b.a, b.b);
+  return ra.overlaps(rb);
+}
+
+}  // namespace
+
+CheckResult check_connectivity(const Netlist& nl, const LefLibrary& lef,
+                               const DefDesign& routed,
+                               std::int64_t tolerance_dbu) {
+  CheckResult result;
+  for (NetId nid : nl.net_ids()) {
+    const Net& net = nl.net(nid);
+    if (net.pins.size() < 2) continue;
+    const DefNet* dnet = routed.find_net(net.name);
+    if (dnet == nullptr) {
+      result.ok = false;
+      result.issues.push_back({net.name, "net missing from DEF"});
+      continue;
+    }
+    ++result.nets_checked;
+    // Elements: segments (0..S-1) and vias (S..S+V-1).
+    const std::size_t S = dnet->wires.size();
+    const std::size_t V = dnet->vias.size();
+    if (S + V == 0) {
+      // Legal only when every pin landed on the same spot (the router
+      // collapsed the net); all pins must be mutually within tolerance.
+      Point anchor;
+      bool first = true;
+      for (const PinRef& p : net.pins) {
+        ++result.pins_checked;
+        const CellType& type = nl.cell_of(p.inst);
+        const Point pos = routed.pin_position(
+            lef, nl.instance(p.inst).name,
+            type.pins[static_cast<std::size_t>(p.pin)].name);
+        if (first) {
+          anchor = pos;
+          first = false;
+        } else if (manhattan(anchor, pos) > 2 * tolerance_dbu) {
+          result.ok = false;
+          result.issues.push_back({net.name, "net has no routing"});
+          break;
+        }
+      }
+      continue;
+    }
+    DisjointSet ds(S + V);
+    for (std::size_t i = 0; i < S; ++i) {
+      for (std::size_t j = i + 1; j < S; ++j) {
+        if (segments_touch(dnet->wires[i], dnet->wires[j])) ds.unite(i, j);
+      }
+    }
+    for (std::size_t v = 0; v < V; ++v) {
+      const DefVia& via = dnet->vias[v];
+      for (std::size_t i = 0; i < S; ++i) {
+        const Segment& s = dnet->wires[i];
+        if ((s.layer == via.from_layer || s.layer == via.to_layer) &&
+            point_segment_distance(via.at, s) == 0) {
+          ds.unite(S + v, i);
+        }
+      }
+      // Stacked vias (M1->M2->M3 at one point) connect directly.
+      for (std::size_t w = v + 1; w < V; ++w) {
+        const DefVia& other = dnet->vias[w];
+        if (via.at == other.at &&
+            (via.from_layer == other.to_layer ||
+             via.to_layer == other.from_layer ||
+             via.from_layer == other.from_layer ||
+             via.to_layer == other.to_layer)) {
+          ds.unite(S + v, S + w);
+        }
+      }
+    }
+    // All elements connected?
+    const std::size_t root = ds.find(0);
+    for (std::size_t i = 1; i < S + V; ++i) {
+      if (ds.find(i) != root) {
+        result.ok = false;
+        result.issues.push_back({net.name, "routing is disconnected"});
+        break;
+      }
+    }
+    // Every pin reached (within tolerance of some element of the net)?
+    for (const PinRef& p : net.pins) {
+      ++result.pins_checked;
+      const CellType& type = nl.cell_of(p.inst);
+      const std::string& pin_name =
+          type.pins[static_cast<std::size_t>(p.pin)].name;
+      const Point pos =
+          routed.pin_position(lef, nl.instance(p.inst).name, pin_name);
+      std::int64_t best = INT64_MAX;
+      for (const Segment& s : dnet->wires) {
+        best = std::min(best, point_segment_distance(pos, s));
+      }
+      for (const DefVia& v : dnet->vias) {
+        best = std::min(best, manhattan(pos, v.at));
+      }
+      if (best > tolerance_dbu) {
+        result.ok = false;
+        result.issues.push_back(
+            {net.name, "pin " + nl.instance(p.inst).name + "/" + pin_name +
+                           " not reached (distance " + std::to_string(best) +
+                           " dbu)"});
+      }
+    }
+  }
+  return result;
+}
+
+CheckResult check_shorts(const DefDesign& routed, std::int64_t pitch_dbu) {
+  CheckResult result;
+  SECFLOW_CHECK(pitch_dbu > 0, "bad pitch");
+  std::unordered_map<std::uint64_t, const DefNet*> occupancy;
+  auto key = [&](int layer, std::int64_t x, std::int64_t y) {
+    return (static_cast<std::uint64_t>(layer) << 60) |
+           (static_cast<std::uint64_t>((x / pitch_dbu) & 0x3FFFFFFF) << 30) |
+           static_cast<std::uint64_t>((y / pitch_dbu) & 0x3FFFFFFF);
+  };
+  for (const DefNet& net : routed.nets) {
+    ++result.nets_checked;
+    for (const Segment& s : net.wires) {
+      const std::int64_t steps = s.length() / pitch_dbu;
+      for (std::int64_t i = 0; i <= steps; ++i) {
+        const Point p = s.horizontal()
+                            ? Point{std::min(s.a.x, s.b.x) + i * pitch_dbu, s.a.y}
+                            : Point{s.a.x, std::min(s.a.y, s.b.y) + i * pitch_dbu};
+        const auto [it, inserted] = occupancy.emplace(key(s.layer, p.x, p.y), &net);
+        if (!inserted && it->second != &net) {
+          result.ok = false;
+          result.issues.push_back(
+              {net.name, "short with " + it->second->name + " on M" +
+                             std::to_string(s.layer + 1)});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Distance from a point to the nearest element (wire or via) of a net.
+std::int64_t distance_to_net(const DefNet& net, const Point& pos) {
+  std::int64_t best = INT64_MAX;
+  for (const Segment& s : net.wires) {
+    best = std::min(best, point_segment_distance(pos, s));
+  }
+  for (const DefVia& v : net.vias) {
+    best = std::min(best, manhattan(pos, v.at));
+  }
+  return best;
+}
+
+}  // namespace
+
+CheckResult check_stream_out(const Netlist& fat, const LefLibrary& diff_lef,
+                             const DefDesign& diff,
+                             std::int64_t tolerance_dbu) {
+  CheckResult result;
+  for (NetId nid : fat.net_ids()) {
+    const Net& net = fat.net(nid);
+    if (net.pins.size() < 2) continue;
+    const DefNet* t_rail = diff.find_net(net.name + "_t");
+    const DefNet* f_rail = diff.find_net(net.name + "_f");
+    const DefNet* single = diff.find_net(net.name);
+    if (t_rail == nullptr && f_rail == nullptr && single == nullptr) {
+      result.ok = false;
+      result.issues.push_back({net.name, "net missing from diff design"});
+      continue;
+    }
+    ++result.nets_checked;
+    for (const PinRef& p : net.pins) {
+      const CellType& type = fat.cell_of(p.inst);
+      const std::string& pin_name =
+          type.pins[static_cast<std::size_t>(p.pin)].name;
+      const std::string& comp = fat.instance(p.inst).name;
+      const DefComponent* c = diff.find_component(comp);
+      if (c == nullptr) {
+        result.ok = false;
+        result.issues.push_back({net.name, "component " + comp + " missing"});
+        continue;
+      }
+      const LefMacro& macro = diff_lef.macro(c->macro);
+      auto check_pin = [&](const DefNet* rail, const std::string& lef_pin) {
+        if (rail == nullptr) {
+          result.ok = false;
+          result.issues.push_back({net.name, "rail missing for " + lef_pin});
+          return;
+        }
+        const LefPin* lp = macro.find_pin(lef_pin);
+        if (lp == nullptr) {
+          result.ok = false;
+          result.issues.push_back(
+              {net.name, "diff LEF lacks pin " + lef_pin + " on " + c->macro});
+          return;
+        }
+        ++result.pins_checked;
+        const Point pos = c->origin + lp->offset;
+        if (distance_to_net(*rail, pos) > tolerance_dbu) {
+          result.ok = false;
+          result.issues.push_back(
+              {rail->name, "pin " + comp + "/" + lef_pin + " not reached"});
+        }
+      };
+      if (pin_name == "CK" || single != nullptr) {
+        check_pin(single, pin_name);
+      } else {
+        check_pin(t_rail, pin_name + "_t");
+        check_pin(f_rail, pin_name + "_f");
+      }
+    }
+  }
+  return result;
+}
+
+CheckResult check_differential_symmetry(const DefDesign& diff,
+                                        std::int64_t fine_pitch_dbu) {
+  CheckResult result;
+  for (const DefNet& net : diff.nets) {
+    if (net.name.size() < 2 ||
+        net.name.substr(net.name.size() - 2) != "_t") {
+      continue;
+    }
+    const std::string base = net.name.substr(0, net.name.size() - 2);
+    const DefNet* twin = diff.find_net(base + "_f");
+    if (twin == nullptr) {
+      result.ok = false;
+      result.issues.push_back({net.name, "missing false rail"});
+      continue;
+    }
+    ++result.nets_checked;
+    if (net.total_wirelength() != twin->total_wirelength()) {
+      result.ok = false;
+      result.issues.push_back({net.name, "rail length mismatch"});
+    }
+    if (net.vias.size() != twin->vias.size()) {
+      result.ok = false;
+      result.issues.push_back({net.name, "rail via count mismatch"});
+    }
+    if (net.wires.size() != twin->wires.size()) {
+      result.ok = false;
+      result.issues.push_back({net.name, "rail segment count mismatch"});
+      continue;
+    }
+    for (std::size_t i = 0; i < net.wires.size(); ++i) {
+      const Segment expected =
+          net.wires[i].translated(fine_pitch_dbu, fine_pitch_dbu);
+      if (!(expected == twin->wires[i])) {
+        result.ok = false;
+        result.issues.push_back(
+            {net.name, "segment " + std::to_string(i) + " not a (+p,+p) twin"});
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace secflow

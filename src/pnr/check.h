@@ -1,0 +1,55 @@
+// Physical verification of routed designs.
+//
+// Two checks mirror the paper's stream-out validation:
+//  * geometric connectivity: each net's wires+vias form one connected
+//    component that reaches every pin the netlist says it must connect;
+//  * short check: no two different nets share a grid point on a layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "pnr/def.h"
+
+namespace secflow {
+
+struct CheckIssue {
+  std::string net;
+  std::string what;
+};
+
+struct CheckResult {
+  bool ok = true;
+  std::vector<CheckIssue> issues;
+  int nets_checked = 0;
+  int pins_checked = 0;
+};
+
+/// Verify that `routed` implements the connectivity of `nl` (pin-name
+/// based; nets with fewer than 2 pins are skipped).  `tolerance_dbu` is
+/// the pin-to-wire snap distance the router was allowed.
+CheckResult check_connectivity(const Netlist& nl, const LefLibrary& lef,
+                               const DefDesign& routed,
+                               std::int64_t tolerance_dbu);
+
+/// Verify no two nets overlap on the same layer (grid-point sampling at
+/// `pitch_dbu` granularity along every segment).
+CheckResult check_shorts(const DefDesign& routed, std::int64_t pitch_dbu);
+
+/// Verify the decomposition invariants on a differential design: for each
+/// _t/_f pair, equal wire length, equal via count and every segment's twin
+/// translated by exactly (+p, +p).
+CheckResult check_differential_symmetry(const DefDesign& diff,
+                                        std::int64_t fine_pitch_dbu);
+
+/// The paper's stream-out verification: importing the differential netlist
+/// must match the decomposed design.  For every fat net and every fat pin
+/// (component, pin) it connects, the diff design's n_t / n_f rails must
+/// reach the pin_t / pin_f offsets of the differential LEF macro.
+/// Single-ended nets (clock) are checked against their unsplit pin.
+CheckResult check_stream_out(const Netlist& fat, const LefLibrary& diff_lef,
+                             const DefDesign& diff,
+                             std::int64_t tolerance_dbu);
+
+}  // namespace secflow

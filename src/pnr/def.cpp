@@ -1,0 +1,237 @@
+#include "pnr/def.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/error.h"
+#include "base/units.h"
+
+namespace secflow {
+
+const DefComponent* DefDesign::find_component(const std::string& n) const {
+  for (const DefComponent& c : components) {
+    if (c.name == n) return &c;
+  }
+  return nullptr;
+}
+
+const DefNet* DefDesign::find_net(const std::string& n) const {
+  for (const DefNet& net : nets) {
+    if (net.name == n) return &net;
+  }
+  return nullptr;
+}
+
+DefNet* DefDesign::find_net(const std::string& n) {
+  for (DefNet& net : nets) {
+    if (net.name == n) return &net;
+  }
+  return nullptr;
+}
+
+std::int64_t DefDesign::total_wirelength() const {
+  std::int64_t wl = 0;
+  for (const DefNet& n : nets) wl += n.total_wirelength();
+  return wl;
+}
+
+int DefDesign::total_vias() const {
+  int v = 0;
+  for (const DefNet& n : nets) v += static_cast<int>(n.vias.size());
+  return v;
+}
+
+double DefDesign::die_area_um2() const {
+  return dbu_to_um(die.width()) * dbu_to_um(die.height());
+}
+
+Point DefDesign::pin_position(const LefLibrary& lef,
+                              const std::string& component,
+                              const std::string& pin) const {
+  const DefComponent* c = find_component(component);
+  SECFLOW_CHECK(c != nullptr, "no component " + component);
+  const LefMacro& m = lef.macro(c->macro);
+  const LefPin* p = m.find_pin(pin);
+  SECFLOW_CHECK(p != nullptr, "no pin " + pin + " on macro " + c->macro);
+  return c->origin + p->offset;
+}
+
+std::string write_def(const DefDesign& d) {
+  std::ostringstream os;
+  os << "DESIGN " << d.name << " ;\n";
+  os << "DIEAREA ( " << d.die.lo.x << ' ' << d.die.lo.y << " ) ( "
+     << d.die.hi.x << ' ' << d.die.hi.y << " ) ;\n";
+  os << "ROWHEIGHT " << d.row_height_dbu << " ;\n";
+  os << "TRACKPITCH " << d.track_pitch_dbu << " ;\n";
+  os << "COMPONENTS " << d.components.size() << " ;\n";
+  for (const DefComponent& c : d.components) {
+    os << "- " << c.name << ' ' << c.macro << " PLACED ( " << c.origin.x
+       << ' ' << c.origin.y << " ) ;\n";
+  }
+  os << "END COMPONENTS\n";
+  os << "NETS " << d.nets.size() << " ;\n";
+  for (const DefNet& n : d.nets) {
+    os << "- " << n.name << "\n";
+    for (const Segment& s : n.wires) {
+      os << "  ROUTED M" << (s.layer + 1) << ' ' << s.width << " ( " << s.a.x
+         << ' ' << s.a.y << " ) ( " << s.b.x << ' ' << s.b.y << " )\n";
+    }
+    for (const DefVia& v : n.vias) {
+      os << "  VIA M" << (v.from_layer + 1) << " M" << (v.to_layer + 1)
+         << " ( " << v.at.x << ' ' << v.at.y << " )\n";
+    }
+    os << "  ;\n";
+  }
+  os << "END NETS\n";
+  os << "END DESIGN\n";
+  return os.str();
+}
+
+void write_def_file(const DefDesign& d, const std::string& path) {
+  std::ofstream f(path);
+  SECFLOW_CHECK(f.good(), "cannot open for write: " + path);
+  f << write_def(d);
+  SECFLOW_CHECK(f.good(), "write failed: " + path);
+}
+
+namespace {
+
+class DefTokens {
+ public:
+  explicit DefTokens(const std::string& text) {
+    std::istringstream is(text);
+    std::string t;
+    while (is >> t) toks_.push_back(t);
+  }
+  bool done() const { return pos_ >= toks_.size(); }
+  const std::string& peek() const {
+    static const std::string kEnd = "<eof>";
+    return done() ? kEnd : toks_[pos_];
+  }
+  std::string next() {
+    SECFLOW_CHECK(!done(), "unexpected end of DEF");
+    return toks_[pos_++];
+  }
+  void expect(const std::string& kw) {
+    const std::string t = next();
+    if (t != kw) {
+      throw ParseError("def", "expected '" + kw + "', got '" + t + "'");
+    }
+  }
+  std::int64_t integer() {
+    const std::string t = next();
+    try {
+      return std::stoll(t);
+    } catch (const std::exception&) {
+      throw ParseError("def", "expected integer, got '" + t + "'");
+    }
+  }
+  Point point() {
+    expect("(");
+    const std::int64_t x = integer();
+    const std::int64_t y = integer();
+    expect(")");
+    return Point{x, y};
+  }
+  int layer() {
+    const std::string t = next();
+    if (t.size() < 2 || t[0] != 'M') {
+      throw ParseError("def", "expected layer, got '" + t + "'");
+    }
+    try {
+      return std::stoi(t.substr(1)) - 1;
+    } catch (const std::exception&) {
+      throw ParseError("def", "bad layer name '" + t + "'");
+    }
+  }
+
+ private:
+  std::vector<std::string> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+DefDesign parse_def(const std::string& text) {
+  DefTokens ts(text);
+  DefDesign d;
+  ts.expect("DESIGN");
+  d.name = ts.next();
+  ts.expect(";");
+  while (!ts.done()) {
+    const std::string kw = ts.next();
+    if (kw == "DIEAREA") {
+      d.die.lo = ts.point();
+      d.die.hi = ts.point();
+      ts.expect(";");
+    } else if (kw == "ROWHEIGHT") {
+      d.row_height_dbu = ts.integer();
+      ts.expect(";");
+    } else if (kw == "TRACKPITCH") {
+      d.track_pitch_dbu = ts.integer();
+      ts.expect(";");
+    } else if (kw == "COMPONENTS") {
+      const std::int64_t n = ts.integer();
+      ts.expect(";");
+      for (std::int64_t i = 0; i < n; ++i) {
+        ts.expect("-");
+        DefComponent c;
+        c.name = ts.next();
+        c.macro = ts.next();
+        ts.expect("PLACED");
+        c.origin = ts.point();
+        ts.expect(";");
+        d.components.push_back(std::move(c));
+      }
+      ts.expect("END");
+      ts.expect("COMPONENTS");
+    } else if (kw == "NETS") {
+      const std::int64_t n = ts.integer();
+      ts.expect(";");
+      for (std::int64_t i = 0; i < n; ++i) {
+        ts.expect("-");
+        DefNet net;
+        net.name = ts.next();
+        while (ts.peek() != ";") {
+          const std::string item = ts.next();
+          if (item == "ROUTED") {
+            Segment s;
+            s.layer = ts.layer();
+            s.width = ts.integer();
+            s.a = ts.point();
+            s.b = ts.point();
+            net.wires.push_back(s);
+          } else if (item == "VIA") {
+            DefVia v;
+            v.from_layer = ts.layer();
+            v.to_layer = ts.layer();
+            v.at = ts.point();
+            net.vias.push_back(v);
+          } else {
+            throw ParseError("def", "unknown net item: " + item);
+          }
+        }
+        ts.expect(";");
+        d.nets.push_back(std::move(net));
+      }
+      ts.expect("END");
+      ts.expect("NETS");
+    } else if (kw == "END") {
+      ts.expect("DESIGN");
+      break;
+    } else {
+      throw ParseError("def", "unknown keyword: " + kw);
+    }
+  }
+  return d;
+}
+
+DefDesign parse_def_file(const std::string& path) {
+  std::ifstream f(path);
+  SECFLOW_CHECK(f.good(), "cannot open: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_def(ss.str());
+}
+
+}  // namespace secflow

@@ -1,0 +1,291 @@
+#include "pnr/place.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "base/error.h"
+#include "base/rng.h"
+
+namespace secflow {
+namespace {
+
+/// Row-major placement state used during annealing: per row, an ordered
+/// list of instance indices; x positions are derived by left-packing.
+struct PlacerState {
+  std::vector<std::vector<std::size_t>> rows;   // instance indices
+  std::vector<std::size_t> row_of;              // per instance
+  std::vector<std::int64_t> x_of;               // packed x [DBU]
+  std::vector<std::int64_t> width;              // per instance
+};
+
+void pack_row(PlacerState& st, std::size_t row, std::int64_t pitch) {
+  std::int64_t x = 0;
+  for (std::size_t idx : st.rows[row]) {
+    // Snap each origin up to the track grid.
+    x = ((x + pitch - 1) / pitch) * pitch;
+    st.x_of[idx] = x;
+    x += st.width[idx];
+  }
+}
+
+}  // namespace
+
+Floorplan make_floorplan(const Netlist& nl, const LefLibrary& lef,
+                         const PlaceOptions& opts) {
+  SECFLOW_CHECK(opts.fill_factor > 0.0 && opts.fill_factor <= 1.0,
+                "fill factor out of range");
+  SECFLOW_CHECK(opts.aspect_ratio > 0.0, "aspect ratio out of range");
+  const std::int64_t snap = lef.track_pitch_dbu();
+  double cell_area = 0.0;     // um^2, with widths snapped to the track grid
+  std::int64_t row_h = 0;
+  std::int64_t max_w = 0;
+  for (InstId id : nl.instance_ids()) {
+    const LefMacro& m = lef.macro(nl.cell_of(id).name);
+    const std::int64_t w_snapped = ((m.width_dbu + snap - 1) / snap) * snap;
+    cell_area += dbu_to_um(w_snapped) * dbu_to_um(m.height_dbu);
+    row_h = std::max(row_h, m.height_dbu);
+    max_w = std::max(max_w, w_snapped);
+  }
+  SECFLOW_CHECK(row_h > 0, "empty netlist");
+  const double core_area = cell_area / opts.fill_factor;
+  const double height_um = std::sqrt(core_area / opts.aspect_ratio);
+
+  Floorplan fp;
+  fp.row_height_dbu = row_h;
+  fp.n_rows = std::max<int>(
+      1, static_cast<int>(std::ceil(um_to_dbu(height_um) /
+                                    static_cast<double>(row_h))));
+  const double width_um = core_area / (fp.n_rows * dbu_to_um(row_h));
+  const std::int64_t pitch = lef.track_pitch_dbu();
+  std::int64_t row_w = um_to_dbu(width_um);
+  row_w = std::max(row_w, max_w);
+  row_w = ((row_w + pitch - 1) / pitch) * pitch;
+  fp.row_width_dbu = row_w;
+
+  const std::int64_t margin = opts.margin_tracks * pitch;
+  fp.core = Rect{{margin, margin},
+                 {margin + row_w, margin + fp.n_rows * row_h}};
+  fp.die = fp.core.inflated(margin);
+  fp.die.lo = {0, 0};
+  fp.die.hi = {fp.core.hi.x + margin, fp.core.hi.y + margin};
+  return fp;
+}
+
+DefDesign place_design(const Netlist& nl, const LefLibrary& lef,
+                       const PlaceOptions& opts) {
+  Floorplan fp = make_floorplan(nl, lef, opts);
+  const std::int64_t pitch = lef.track_pitch_dbu();
+  const std::vector<InstId> insts = nl.instance_ids();
+  const std::size_t n = insts.size();
+
+  PlacerState st;
+  st.rows.resize(static_cast<std::size_t>(fp.n_rows));
+  st.row_of.resize(n);
+  st.x_of.resize(n);
+  st.width.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    st.width[i] = lef.macro(nl.cell_of(insts[i]).name).width_dbu;
+  }
+
+  // Initial order: BFS over net connectivity from the first instance, so
+  // tightly connected cells land in nearby slots (serpentine fill).
+  std::vector<std::size_t> order;
+  {
+    std::vector<bool> seen(n, false);
+    std::unordered_map<std::int32_t, std::size_t> index_of;
+    for (std::size_t i = 0; i < n; ++i) index_of[insts[i].value()] = i;
+    for (std::size_t start = 0; start < n; ++start) {
+      if (seen[start]) continue;
+      std::deque<std::size_t> queue{start};
+      seen[start] = true;
+      while (!queue.empty()) {
+        const std::size_t i = queue.front();
+        queue.pop_front();
+        order.push_back(i);
+        const Instance& in = nl.instance(insts[i]);
+        for (const NetId net : in.conns) {
+          if (!net.valid()) continue;
+          if (nl.net(net).pins.size() > 12) continue;  // skip clock-like nets
+          for (const PinRef& p : nl.net(net).pins) {
+            const std::size_t j = index_of.at(p.inst.value());
+            if (!seen[j]) {
+              seen[j] = true;
+              queue.push_back(j);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Serpentine fill with row capacity = row width.  Uneven cell widths can
+  // make the area-derived row width too tight; widen and retry.
+  for (int attempt = 0;; ++attempt) {
+    SECFLOW_CHECK(attempt < 16, "placement overflow: die sizing failed");
+    bool overflow = false;
+    for (auto& row : st.rows) row.clear();
+    std::size_t row = 0;
+    bool forward = true;
+    std::int64_t used = 0;
+    for (std::size_t idx : order) {
+      const std::int64_t w = ((st.width[idx] + pitch - 1) / pitch) * pitch;
+      if (used + w > fp.row_width_dbu && row + 1 < st.rows.size()) {
+        ++row;
+        forward = !forward;
+        used = 0;
+      }
+      if (used + w > fp.row_width_dbu && !st.rows[row].empty()) {
+        overflow = true;
+        break;
+      }
+      if (forward) {
+        st.rows[row].push_back(idx);
+      } else {
+        st.rows[row].insert(st.rows[row].begin(), idx);
+      }
+      st.row_of[idx] = row;
+      used += w;
+    }
+    if (!overflow) break;
+    // Widen rows by 1/8 (snapped to pitch) and regrow the die.
+    fp.row_width_dbu += std::max<std::int64_t>(
+        pitch, ((fp.row_width_dbu / 8 + pitch - 1) / pitch) * pitch);
+    fp.core.hi.x = fp.core.lo.x + fp.row_width_dbu;
+    fp.die.hi.x = fp.core.hi.x + (fp.core.lo.x - fp.die.lo.x);
+  }
+  for (std::size_t r = 0; r < st.rows.size(); ++r) pack_row(st, r, pitch);
+
+  auto origin_of = [&](std::size_t idx) {
+    return Point{fp.core.lo.x + st.x_of[idx],
+                 fp.core.lo.y + static_cast<std::int64_t>(st.row_of[idx]) *
+                                    fp.row_height_dbu};
+  };
+  std::unordered_map<std::int32_t, std::size_t> index_of;
+  for (std::size_t i = 0; i < n; ++i) index_of[insts[i].value()] = i;
+
+  auto net_hpwl = [&](NetId net) -> std::int64_t {
+    const Net& nn = nl.net(net);
+    if (nn.pins.size() < 2) return 0;
+    std::int64_t lx = INT64_MAX, ly = INT64_MAX, hx = INT64_MIN,
+                 hy = INT64_MIN;
+    for (const PinRef& p : nn.pins) {
+      const std::size_t i = index_of.at(p.inst.value());
+      const LefMacro& m = lef.macro(nl.cell_of(p.inst).name);
+      const Point pos =
+          origin_of(i) +
+          m.pins[static_cast<std::size_t>(p.pin)].offset;
+      lx = std::min(lx, pos.x);
+      hx = std::max(hx, pos.x);
+      ly = std::min(ly, pos.y);
+      hy = std::max(hy, pos.y);
+    }
+    return (hx - lx) + (hy - ly);
+  };
+
+  // Simulated annealing: swap two instances (re-pack their rows).
+  if (opts.sa_moves_per_instance > 0 && n > 2) {
+    Rng rng(opts.seed);
+    // Nets touching each instance, for incremental cost.
+    std::vector<std::vector<NetId>> nets_of(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const NetId net : nl.instance(insts[i]).conns) {
+        if (net.valid()) nets_of[i].push_back(net);
+      }
+    }
+    auto local_cost = [&](std::size_t a, std::size_t b) {
+      std::int64_t c = 0;
+      for (NetId net : nets_of[a]) c += net_hpwl(net);
+      for (NetId net : nets_of[b]) c += net_hpwl(net);
+      return c;
+    };
+    const long total_moves =
+        static_cast<long>(opts.sa_moves_per_instance) * static_cast<long>(n);
+    double temperature = static_cast<double>(fp.row_width_dbu) / 2;
+    const double cooling =
+        std::pow(1e-3, 1.0 / std::max<long>(total_moves, 1));
+    for (long move = 0; move < total_moves; ++move) {
+      const std::size_t a = rng.next_below(n);
+      const std::size_t b = rng.next_below(n);
+      if (a == b) continue;
+      const std::int64_t before = local_cost(a, b);
+      // Swap slots.
+      const std::size_t ra = st.row_of[a], rb = st.row_of[b];
+      auto& row_a = st.rows[ra];
+      auto& row_b = st.rows[rb];
+      const auto ia = std::find(row_a.begin(), row_a.end(), a);
+      const auto ib = std::find(row_b.begin(), row_b.end(), b);
+      std::iter_swap(ia, ib);
+      std::swap(st.row_of[a], st.row_of[b]);
+      pack_row(st, ra, pitch);
+      if (rb != ra) pack_row(st, rb, pitch);
+      bool keep = true;
+      // Reject if a row overflowed.
+      for (std::size_t r : {ra, rb}) {
+        if (!st.rows[r].empty()) {
+          const std::size_t last = st.rows[r].back();
+          if (st.x_of[last] + st.width[last] > fp.row_width_dbu) keep = false;
+        }
+      }
+      std::int64_t after = keep ? local_cost(a, b) : 0;
+      if (keep) {
+        const double delta = static_cast<double>(after - before);
+        keep = delta <= 0 ||
+               rng.next_double() < std::exp(-delta / temperature);
+      }
+      if (!keep) {
+        const auto ja = std::find(st.rows[st.row_of[a]].begin(),
+                                  st.rows[st.row_of[a]].end(), a);
+        const auto jb = std::find(st.rows[st.row_of[b]].begin(),
+                                  st.rows[st.row_of[b]].end(), b);
+        std::iter_swap(ja, jb);
+        std::swap(st.row_of[a], st.row_of[b]);
+        pack_row(st, ra, pitch);
+        if (rb != ra) pack_row(st, rb, pitch);
+      }
+      temperature *= cooling;
+    }
+  }
+
+  DefDesign d;
+  d.name = nl.name();
+  d.die = fp.die;
+  d.row_height_dbu = fp.row_height_dbu;
+  d.track_pitch_dbu = pitch;
+  for (std::size_t i = 0; i < n; ++i) {
+    d.components.push_back(DefComponent{nl.instance(insts[i]).name,
+                                        nl.cell_of(insts[i]).name,
+                                        origin_of(i)});
+  }
+  for (NetId net : nl.net_ids()) {
+    d.nets.push_back(DefNet{nl.net(net).name, {}, {}});
+  }
+  return d;
+}
+
+std::int64_t placement_hpwl(const Netlist& nl, const LefLibrary& lef,
+                            const DefDesign& d) {
+  std::int64_t total = 0;
+  for (NetId net : nl.net_ids()) {
+    const Net& nn = nl.net(net);
+    if (nn.pins.size() < 2) continue;
+    std::int64_t lx = INT64_MAX, ly = INT64_MAX, hx = INT64_MIN,
+                 hy = INT64_MIN;
+    for (const PinRef& p : nn.pins) {
+      const CellType& type = nl.cell_of(p.inst);
+      const Point pos = d.pin_position(
+          lef, nl.instance(p.inst).name,
+          type.pins[static_cast<std::size_t>(p.pin)].name);
+      lx = std::min(lx, pos.x);
+      hx = std::max(hx, pos.x);
+      ly = std::min(ly, pos.y);
+      hy = std::max(hy, pos.y);
+    }
+    total += (hx - lx) + (hy - ly);
+  }
+  return total;
+}
+
+}  // namespace secflow

@@ -1,0 +1,362 @@
+#include "pnr/route.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/error.h"
+
+namespace secflow {
+namespace {
+
+struct Grid {
+  std::int64_t pitch = 0;
+  std::int64_t x0 = 0, y0 = 0;
+  int nx = 0, ny = 0;
+  int layers = 3;
+
+  int nodes() const { return layers * nx * ny; }
+  int node(int layer, int xi, int yi) const {
+    return (layer * ny + yi) * nx + xi;
+  }
+  int layer_of(int n) const { return n / (nx * ny); }
+  int yi_of(int n) const { return (n / nx) % ny; }
+  int xi_of(int n) const { return n % nx; }
+  Point pos(int n) const {
+    return {x0 + static_cast<std::int64_t>(xi_of(n)) * pitch,
+            y0 + static_cast<std::int64_t>(yi_of(n)) * pitch};
+  }
+  bool horizontal(int layer) const { return layer % 2 == 0; }
+
+  int snap_xi(std::int64_t x) const {
+    const std::int64_t xi = (x - x0 + pitch / 2) / pitch;
+    return static_cast<int>(std::clamp<std::int64_t>(xi, 0, nx - 1));
+  }
+  int snap_yi(std::int64_t y) const {
+    const std::int64_t yi = (y - y0 + pitch / 2) / pitch;
+    return static_cast<int>(std::clamp<std::int64_t>(yi, 0, ny - 1));
+  }
+};
+
+struct NetTask {
+  std::size_t net_index;       // into DefDesign.nets
+  std::vector<int> pin_nodes;  // grid nodes (layer 0)
+  std::vector<int> path;       // routed nodes (tree), filled by router
+};
+
+/// Dijkstra from the current tree (sources) to the target node.
+/// Returns the path from a source to the target (inclusive), or empty.
+std::vector<int> shortest_path(const Grid& g, const std::vector<int>& sources,
+                               int target, const RouteOptions& opts,
+                               const std::vector<int>& usage,
+                               const std::vector<int>& history,
+                               const std::vector<int>& owner, int self,
+                               int iteration) {
+  const int n = g.nodes();
+  std::vector<int> dist(n, INT32_MAX);
+  std::vector<int> prev(n, -1);
+  using QE = std::pair<int, int>;  // (dist, node)
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+  for (int s : sources) {
+    dist[s] = 0;
+    pq.push({0, s});
+  }
+  auto node_cost = [&](int node) {
+    // Base cost 1; congestion-negotiated penalties on foreign usage.
+    int c = 1;
+    const int foreign = usage[node] - (owner[node] == self ? 1 : 0);
+    if (foreign > 0) c += foreign * (8 * iteration + 8);
+    c += history[node];
+    return c;
+  };
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    if (u == target) break;
+    const int layer = g.layer_of(u);
+    const int xi = g.xi_of(u);
+    const int yi = g.yi_of(u);
+    auto relax = [&](int v, int extra) {
+      const int nd = d + node_cost(v) + extra;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        prev[v] = u;
+        pq.push({nd, v});
+      }
+    };
+    if (g.horizontal(layer)) {
+      if (xi > 0) relax(u - 1, 0);
+      if (xi + 1 < g.nx) relax(u + 1, 0);
+    } else {
+      if (yi > 0) relax(u - g.nx, 0);
+      if (yi + 1 < g.ny) relax(u + g.nx, 0);
+    }
+    if (layer > 0) relax(u - g.nx * g.ny, opts.via_cost);
+    if (layer + 1 < g.layers) relax(u + g.nx * g.ny, opts.via_cost);
+  }
+  if (dist[target] == INT32_MAX) return {};
+  std::vector<int> path;
+  for (int u = target; u != -1; u = prev[u]) path.push_back(u);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+/// Convert a set of tree nodes into merged DEF segments + vias.
+void emit_geometry(const Grid& g, const std::vector<int>& tree,
+                   std::int64_t width, DefNet& net) {
+  std::unordered_set<int> in_tree(tree.begin(), tree.end());
+  std::unordered_set<std::int64_t> edge_done;
+  auto edge_key = [](int a, int b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::int64_t>(a) << 32) | static_cast<std::int64_t>(b);
+  };
+  for (int u : tree) {
+    const int layer = g.layer_of(u);
+    // Planar edges: walk maximal runs.
+    const int step = g.horizontal(layer) ? 1 : g.nx;
+    const int nb = u + step;
+    const bool nb_ok = g.horizontal(layer)
+                           ? g.xi_of(u) + 1 < g.nx
+                           : g.yi_of(u) + 1 < g.ny;
+    if (nb_ok && in_tree.contains(nb) && g.layer_of(nb) == layer &&
+        !edge_done.contains(edge_key(u, nb))) {
+      // Extend the run as far as possible.
+      int start = u;
+      while (true) {
+        const int prev_n = start - step;
+        const bool prev_ok = g.horizontal(layer)
+                                 ? g.xi_of(start) > 0
+                                 : g.yi_of(start) > 0;
+        if (prev_ok && in_tree.contains(prev_n) &&
+            g.layer_of(prev_n) == layer &&
+            !edge_done.contains(edge_key(prev_n, start))) {
+          start = prev_n;
+        } else {
+          break;
+        }
+      }
+      int end = start;
+      while (true) {
+        const int next_n = end + step;
+        const bool next_ok = g.horizontal(layer)
+                                 ? g.xi_of(end) + 1 < g.nx
+                                 : g.yi_of(end) + 1 < g.ny;
+        if (next_ok && in_tree.contains(next_n) &&
+            g.layer_of(next_n) == layer) {
+          edge_done.insert(edge_key(end, next_n));
+          end = next_n;
+        } else {
+          break;
+        }
+      }
+      if (start != end) {
+        net.wires.push_back(
+            Segment{g.pos(start), g.pos(end), layer, width});
+      }
+    }
+    // Vias.
+    if (layer + 1 < g.layers) {
+      const int up = u + g.nx * g.ny;
+      if (in_tree.contains(up) && !edge_done.contains(edge_key(u, up))) {
+        edge_done.insert(edge_key(u, up));
+        net.vias.push_back(DefVia{g.pos(u), layer, layer + 1});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RouteStats route_design(const Netlist& nl, const LefLibrary& lef,
+                        DefDesign& placed, const RouteOptions& opts) {
+  Grid g;
+  g.pitch = lef.track_pitch_dbu();
+  g.x0 = placed.die.lo.x;
+  g.y0 = placed.die.lo.y;
+  g.nx = static_cast<int>(placed.die.width() / g.pitch) + 1;
+  g.ny = static_cast<int>(placed.die.height() / g.pitch) + 1;
+  g.layers = static_cast<int>(lef.layers().size());
+  const std::int64_t width = lef.wire_width_dbu();
+
+  std::unordered_set<std::string> skip(opts.skip_nets.begin(),
+                                       opts.skip_nets.end());
+
+  // Pin landing nodes, with conflict-avoiding neighbour search on M1.
+  std::vector<int> owner(static_cast<std::size_t>(g.nodes()), -1);
+  std::vector<NetTask> tasks;
+  std::unordered_map<std::string, std::size_t> net_index;
+  for (std::size_t i = 0; i < placed.nets.size(); ++i) {
+    net_index.emplace(placed.nets[i].name, i);
+    placed.nets[i].wires.clear();
+    placed.nets[i].vias.clear();
+  }
+
+  for (NetId nid : nl.net_ids()) {
+    const Net& net = nl.net(nid);
+    if (net.pins.size() < 2) continue;
+    if (skip.contains(net.name)) continue;
+    NetTask task;
+    task.net_index = net_index.at(net.name);
+    const int self = static_cast<int>(task.net_index);
+    for (const PinRef& p : net.pins) {
+      const CellType& type = nl.cell_of(p.inst);
+      const Point pos = placed.pin_position(
+          lef, nl.instance(p.inst).name,
+          type.pins[static_cast<std::size_t>(p.pin)].name);
+      const int base_xi = g.snap_xi(pos.x);
+      const int base_yi = g.snap_yi(pos.y);
+      // Spiral search for a node free or already ours.
+      int found = -1;
+      for (int r = 0; r < 4 && found < 0; ++r) {
+        for (int dx = -r; dx <= r && found < 0; ++dx) {
+          for (int dy = -r; dy <= r && found < 0; ++dy) {
+            if (std::max(std::abs(dx), std::abs(dy)) != r) continue;
+            const int xi = base_xi + dx, yi = base_yi + dy;
+            if (xi < 0 || xi >= g.nx || yi < 0 || yi >= g.ny) continue;
+            const int node = g.node(0, xi, yi);
+            if (owner[node] == -1 || owner[node] == self) found = node;
+          }
+        }
+      }
+      SECFLOW_CHECK(found >= 0, "no free pin landing near " + net.name);
+      owner[found] = self;
+      task.pin_nodes.push_back(found);
+    }
+    tasks.push_back(std::move(task));
+  }
+
+  // Negotiated congestion loop.
+  std::vector<int> usage(static_cast<std::size_t>(g.nodes()), 0);
+  std::vector<int> history(static_cast<std::size_t>(g.nodes()), 0);
+  // Pin nodes always count as used by their net.
+  auto reset_usage = [&] {
+    std::fill(usage.begin(), usage.end(), 0);
+    for (const NetTask& t : tasks) {
+      for (int n : t.pin_nodes) ++usage[n];
+    }
+  };
+
+  RouteStats stats;
+  bool converged = false;
+  std::vector<std::size_t> order(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) order[i] = i;
+  for (int iter = 0; iter < opts.max_iterations && !converged; ++iter) {
+    stats.iterations = iter + 1;
+    reset_usage();
+    std::vector<int> node_net(static_cast<std::size_t>(g.nodes()), -1);
+    for (const NetTask& t : tasks) {
+      for (int n : t.pin_nodes) node_net[n] = static_cast<int>(t.net_index);
+    }
+    // Rotate the routing order so no net permanently wins ties.
+    if (iter > 0 && !order.empty()) {
+      std::rotate(order.begin(), order.begin() + 1 + (order.size() / 3),
+                  order.end());
+    }
+    for (std::size_t oi : order) {
+      NetTask& t = tasks[oi];
+      const int self = static_cast<int>(t.net_index);
+      t.path.clear();  // usage was reset; paths rebuild from scratch
+      std::vector<int> tree = {t.pin_nodes.front()};
+      std::unordered_set<int> tree_set(tree.begin(), tree.end());
+      for (std::size_t pi = 1; pi < t.pin_nodes.size(); ++pi) {
+        const int target = t.pin_nodes[pi];
+        if (tree_set.contains(target)) continue;
+        const std::vector<int> path = shortest_path(
+            g, tree, target, opts, usage, history, node_net, self, iter);
+        SECFLOW_CHECK(!path.empty(),
+                      "maze router: unreachable pin on net " +
+                          placed.nets[t.net_index].name);
+        for (int n : path) {
+          if (tree_set.insert(n).second) {
+            tree.push_back(n);
+            t.path.push_back(n);
+            ++usage[n];
+            if (node_net[n] == -1) node_net[n] = self;
+          }
+        }
+      }
+    }
+    // Check for sharing.
+    converged = true;
+    int shared = 0;
+    std::unordered_map<int, int> seen;  // node -> net
+    for (const NetTask& t : tasks) {
+      for (int n : t.pin_nodes) seen.emplace(n, static_cast<int>(t.net_index));
+    }
+    for (const NetTask& t : tasks) {
+      for (int n : t.path) {
+        const auto [it, inserted] =
+            seen.emplace(n, static_cast<int>(t.net_index));
+        if (!inserted && it->second != static_cast<int>(t.net_index)) {
+          converged = false;
+          ++shared;
+          history[n] += 1 + iter / 2;
+        }
+      }
+    }
+    if (opts.verbose) {
+      std::fprintf(stderr, "route iter %d: %d shared nodes\n", iter, shared);
+    }
+  }
+  SECFLOW_CHECK(converged, "routing failed to converge (congestion)");
+
+  // Emit geometry.
+  for (const NetTask& t : tasks) {
+    std::vector<int> tree = t.pin_nodes;
+    tree.insert(tree.end(), t.path.begin(), t.path.end());
+    DefNet& net = placed.nets[t.net_index];
+    emit_geometry(g, tree, width, net);
+    stats.wirelength_dbu += net.total_wirelength();
+    stats.vias += static_cast<int>(net.vias.size());
+    ++stats.nets_routed;
+  }
+  return stats;
+}
+
+RouteStats route_design_quick(const Netlist& nl, const LefLibrary& lef,
+                              DefDesign& placed) {
+  RouteStats stats;
+  const std::int64_t width = lef.wire_width_dbu();
+  std::unordered_map<std::string, std::size_t> net_index;
+  for (std::size_t i = 0; i < placed.nets.size(); ++i) {
+    net_index.emplace(placed.nets[i].name, i);
+  }
+  for (NetId nid : nl.net_ids()) {
+    const Net& net = nl.net(nid);
+    if (net.pins.size() < 2) continue;
+    DefNet& dnet = placed.nets[net_index.at(net.name)];
+    Point prev;
+    bool first = true;
+    for (const PinRef& p : net.pins) {
+      const CellType& type = nl.cell_of(p.inst);
+      const Point pos = placed.pin_position(
+          lef, nl.instance(p.inst).name,
+          type.pins[static_cast<std::size_t>(p.pin)].name);
+      if (!first && pos != prev) {
+        // L-route: horizontal on M1, vertical on M2; vias at both ends of
+        // the vertical so consecutive L's (which restart on M1) connect.
+        const Point corner{pos.x, prev.y};
+        if (corner != prev) {
+          dnet.wires.push_back(Segment{prev, corner, 0, width});
+        }
+        if (corner != pos) {
+          dnet.wires.push_back(Segment{corner, pos, 1, width});
+          dnet.vias.push_back(DefVia{corner, 0, 1});
+          dnet.vias.push_back(DefVia{pos, 0, 1});
+        }
+      }
+      prev = pos;
+      first = false;
+    }
+    stats.wirelength_dbu += dnet.total_wirelength();
+    stats.vias += static_cast<int>(dnet.vias.size());
+    ++stats.nets_routed;
+  }
+  stats.iterations = 1;
+  return stats;
+}
+
+}  // namespace secflow

@@ -1,0 +1,50 @@
+// Gridded multi-layer maze router (the Silicon Ensemble stand-in).
+//
+// Routes on the track grid defined by the LEF in use: with the normal LEF
+// this is single-width routing; with the fat LEF (doubled pitch and width)
+// every wire reserves the space of two adjacent fine tracks — the paper's
+// "fat wire" trick falls out of just swapping the library (section 2.2).
+//
+// Layers: M1/M3 horizontal, M2 vertical.  Negotiated-congestion routing
+// (PathFinder-style): all nets are routed each iteration with rising
+// penalties on shared nodes until no node is shared.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "pnr/def.h"
+
+namespace secflow {
+
+struct RouteOptions {
+  int via_cost = 3;
+  int max_iterations = 48;
+  /// Print per-iteration congestion to stderr (debugging).
+  bool verbose = false;
+  /// Nets to skip entirely (e.g. power; empty by default).
+  std::vector<std::string> skip_nets;
+};
+
+struct RouteStats {
+  std::int64_t wirelength_dbu = 0;
+  int vias = 0;
+  int nets_routed = 0;
+  int iterations = 0;
+};
+
+/// Route all multi-pin nets of `nl` into `placed` (wires filled in).
+/// Throws Error when congestion cannot be resolved.
+RouteStats route_design(const Netlist& nl, const LefLibrary& lef,
+                        DefDesign& placed, const RouteOptions& opts = {});
+
+/// Fast non-conflict-checked L-routing used by scale benchmarks: every net
+/// gets an L-shaped two-segment route between consecutive pins.  Geometry
+/// is legal DEF but may overlap; decomposition and parser timing do not
+/// care.  Returns the same stats structure.
+RouteStats route_design_quick(const Netlist& nl, const LefLibrary& lef,
+                              DefDesign& placed);
+
+}  // namespace secflow

@@ -1,0 +1,44 @@
+#include "sca/dfa.h"
+
+#include <unordered_map>
+
+#include "base/error.h"
+
+namespace secflow {
+
+DfaMonitor::DfaMonitor(const Netlist& diff) {
+  std::unordered_map<std::string, InstId> masters;
+  for (InstId iid : diff.instance_ids()) {
+    if (diff.cell_of(iid).kind != CellKind::kFlop) continue;
+    const std::string& name = diff.instance(iid).name;
+    if (name.ends_with("_mst")) masters.emplace(name, iid);
+  }
+  for (const auto& [name, iid] : masters) {
+    if (!name.ends_with("_t_mst")) continue;
+    const std::string base = name.substr(0, name.size() - 6);
+    const auto f = masters.find(base + "_f_mst");
+    SECFLOW_CHECK(f != masters.end(),
+                  "unpaired WDDL master register: " + name);
+    pairs_.push_back(RailPair{base, iid, f->second});
+  }
+  SECFLOW_CHECK(!pairs_.empty(),
+                "DfaMonitor: no WDDL registers in netlist " + diff.name());
+}
+
+std::vector<DfaAlarm> DfaMonitor::check(const PowerSimulator& sim) const {
+  std::vector<DfaAlarm> alarms;
+  for (const RailPair& p : pairs_) {
+    const bool t = sim.flop_state(p.t_master);
+    const bool f = sim.flop_state(p.f_master);
+    if (t == f) {
+      DfaAlarm a;
+      a.register_name = p.name;
+      a.both_zero = !t;
+      a.both_one = t;
+      alarms.push_back(a);
+    }
+  }
+  return alarms;
+}
+
+}  // namespace secflow

@@ -1,0 +1,47 @@
+// Differential Fault Analysis countermeasure (paper section 4.3).
+//
+// WDDL's redundant encoding makes fault detection possible: a valid
+// evaluated signal is exactly one of (t, f); if a register captures (0,0)
+// at the clock edge, the evaluation did not complete — a clock-glitch
+// attack — and the circuit must raise an alarm.  DfaMonitor scans the WDDL
+// master registers of a differential netlist after a cycle and reports
+// rail pairs that captured an invalid code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/power_sim.h"
+
+namespace secflow {
+
+struct DfaAlarm {
+  std::string register_name;  ///< fat-level register (compound) name
+  bool both_zero = false;     ///< (0,0): evaluation incomplete (glitch)
+  bool both_one = false;      ///< (1,1): corrupted differential state
+};
+
+class DfaMonitor {
+ public:
+  /// `diff` must be a differential netlist from expand_differential(): the
+  /// monitor pairs master flops named <reg>_t_mst / <reg>_f_mst.
+  explicit DfaMonitor(const Netlist& diff);
+
+  /// Check the master rail pairs' captured states in `sim`.
+  std::vector<DfaAlarm> check(const PowerSimulator& sim) const;
+
+  int n_monitored_registers() const {
+    return static_cast<int>(pairs_.size());
+  }
+
+ private:
+  struct RailPair {
+    std::string name;
+    InstId t_master;
+    InstId f_master;
+  };
+  std::vector<RailPair> pairs_;
+};
+
+}  // namespace secflow

@@ -1,0 +1,95 @@
+#include "sca/dpa.h"
+
+#include <algorithm>
+
+#include "base/error.h"
+
+namespace secflow {
+
+double peak_to_peak(const std::vector<double>& trace) {
+  if (trace.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(trace.begin(), trace.end());
+  return *hi - *lo;
+}
+
+DpaAnalysis::DpaAnalysis(SelectionFn selection, const DpaOptions& opts)
+    : selection_(std::move(selection)), opts_(opts) {
+  SECFLOW_CHECK(selection_ != nullptr, "DPA needs a selection function");
+  SECFLOW_CHECK(opts_.n_key_guesses > 1, "need at least 2 key guesses");
+}
+
+void DpaAnalysis::add_measurement(DpaMeasurement m) {
+  SECFLOW_CHECK(traces_.empty() ||
+                    m.samples.size() == traces_.front().samples.size(),
+                "trace length mismatch");
+  traces_.push_back(std::move(m));
+}
+
+std::vector<double> DpaAnalysis::differential_trace(std::uint32_t guess,
+                                                    int n) const {
+  const std::size_t count =
+      n <= 0 ? traces_.size()
+             : std::min<std::size_t>(static_cast<std::size_t>(n),
+                                     traces_.size());
+  SECFLOW_CHECK(count > 0, "no measurements");
+  const std::size_t len = traces_.front().samples.size();
+  std::vector<double> sum1(len, 0.0), sum0(len, 0.0);
+  std::size_t n1 = 0, n0 = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const DpaMeasurement& m = traces_[i];
+    if (selection_(m.ciphertext, guess)) {
+      ++n1;
+      for (std::size_t s = 0; s < len; ++s) sum1[s] += m.samples[s];
+    } else {
+      ++n0;
+      for (std::size_t s = 0; s < len; ++s) sum0[s] += m.samples[s];
+    }
+  }
+  std::vector<double> diff(len, 0.0);
+  if (n1 == 0 || n0 == 0) return diff;  // degenerate split: flat trace
+  for (std::size_t s = 0; s < len; ++s) {
+    diff[s] = sum1[s] / static_cast<double>(n1) -
+              sum0[s] / static_cast<double>(n0);
+  }
+  return diff;
+}
+
+DpaResult DpaAnalysis::analyze(std::uint32_t correct_key, int n) const {
+  DpaResult r;
+  r.n_measurements =
+      n <= 0 ? static_cast<int>(traces_.size())
+             : std::min<int>(n, static_cast<int>(traces_.size()));
+  r.peak_to_peak.resize(static_cast<std::size_t>(opts_.n_key_guesses));
+  double best = -1.0, second = -1.0;
+  for (int g = 0; g < opts_.n_key_guesses; ++g) {
+    const double pp = peak_to_peak(
+        differential_trace(static_cast<std::uint32_t>(g), r.n_measurements));
+    r.peak_to_peak[static_cast<std::size_t>(g)] = pp;
+    if (pp > best) {
+      second = best;
+      best = pp;
+      r.best_guess = g;
+    } else if (pp > second) {
+      second = pp;
+    }
+  }
+  r.disclosed = r.best_guess == static_cast<int>(correct_key) &&
+                best > second * (1.0 + opts_.margin);
+  return r;
+}
+
+int DpaAnalysis::measurements_to_disclosure(
+    std::uint32_t correct_key, const std::vector<int>& grid) const {
+  int mtd = -1;
+  for (int m : grid) {
+    if (m > n_measurements()) break;
+    if (analyze(correct_key, m).disclosed) {
+      if (mtd < 0) mtd = m;
+    } else {
+      mtd = -1;  // disclosure must persist
+    }
+  }
+  return mtd;
+}
+
+}  // namespace secflow

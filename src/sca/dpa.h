@@ -1,0 +1,74 @@
+// Differential Power Analysis (Kocher et al.) as used in the paper's
+// evaluation (section 3, Fig 6).
+//
+// Supply-current traces, one per encryption, are partitioned into two sets
+// by a single-bit selection function under each key guess; the
+// differential trace is the difference of the two set means.  A wrong
+// guess splits traces randomly and the differential tends to zero; the
+// correct guess produces peaks.  Disclosure is declared when the correct
+// key's peak-to-peak dominates every other guess by a margin, and the MTD
+// (measurements to disclosure) is the smallest trace count from which
+// disclosure persists.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace secflow {
+
+/// One power measurement: the supply-current samples of one encryption and
+/// the observables the attacker sees.
+struct DpaMeasurement {
+  std::vector<double> samples;
+  std::uint32_t ciphertext = 0;  ///< packed observable (circuit-specific)
+};
+
+/// Selection function: predicted target bit from the ciphertext under a
+/// key guess.
+using SelectionFn = std::function<bool(std::uint32_t ciphertext,
+                                       std::uint32_t key_guess)>;
+
+struct DpaOptions {
+  int n_key_guesses = 64;
+  /// Disclosure requires the best guess to beat the runner-up by this
+  /// relative margin.
+  double margin = 0.05;
+};
+
+struct DpaResult {
+  int n_measurements = 0;
+  std::vector<double> peak_to_peak;  ///< per key guess
+  int best_guess = -1;
+  bool disclosed = false;  ///< best guess equals the correct key, with margin
+};
+
+class DpaAnalysis {
+ public:
+  DpaAnalysis(SelectionFn selection, const DpaOptions& opts = {});
+
+  void add_measurement(DpaMeasurement m);
+  int n_measurements() const { return static_cast<int>(traces_.size()); }
+
+  /// Analyze the first `n` measurements (0 = all) against `correct_key`.
+  DpaResult analyze(std::uint32_t correct_key, int n = 0) const;
+
+  /// Measurements-to-disclosure: the smallest count m in `grid` such that
+  /// analyze(correct_key, m') discloses for every grid point m' >= m.
+  /// Returns -1 when the key is still hidden at the largest grid point.
+  int measurements_to_disclosure(std::uint32_t correct_key,
+                                 const std::vector<int>& grid) const;
+
+  /// Differential trace for one key guess over the first n measurements.
+  std::vector<double> differential_trace(std::uint32_t guess, int n = 0) const;
+
+ private:
+  SelectionFn selection_;
+  DpaOptions opts_;
+  std::vector<DpaMeasurement> traces_;
+};
+
+/// max(trace) - min(trace); 0 for empty traces.
+double peak_to_peak(const std::vector<double>& trace);
+
+}  // namespace secflow

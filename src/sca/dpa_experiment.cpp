@@ -1,0 +1,113 @@
+#include "sca/dpa_experiment.h"
+
+#include "base/error.h"
+#include "base/rng.h"
+#include "crypto/des.h"
+
+namespace secflow {
+namespace {
+
+/// Set a multi-bit input on a single-ended or differential simulator.
+void drive_value(PowerSimulator& sim, const std::string& base, int width,
+                 std::uint32_t value, bool differential) {
+  for (int i = 0; i < width; ++i) {
+    const std::string bit = base + "_" + std::to_string(i);
+    const bool v = (value >> i) & 1;
+    if (differential) {
+      sim.set_input(bit + "_t", v);
+      sim.set_input(bit + "_f", !v);
+    } else {
+      sim.set_input(bit, v);
+    }
+  }
+}
+
+/// Read a multi-bit observable.  A WDDL design is observable only during
+/// the evaluate phase (rails precharge to 0 afterwards); a regular design
+/// is read at the end of the cycle, when everything has settled.
+std::uint32_t read_value(const PowerSimulator& sim, const std::string& base,
+                         int width, bool differential) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    const std::string bit = base + "_" + std::to_string(i);
+    const bool b = differential ? sim.output_at_eval(bit + "_t")
+                                : sim.output(bit);
+    if (b) v |= 1u << i;
+  }
+  return v;
+}
+
+}  // namespace
+
+SelectionFn des_selection(int bit, int sbox) {
+  return [bit, sbox](std::uint32_t ciphertext, std::uint32_t guess) {
+    const std::uint32_t cl = ciphertext & 0xF;
+    const std::uint32_t cr = (ciphertext >> 4) & 0x3F;
+    return des_dpa_selection(cl, cr, guess, bit, sbox);
+  };
+}
+
+DesDpaCampaign run_des_dpa_campaign(const Netlist& nl, const CapTable& caps,
+                                    const DesDpaSetup& setup,
+                                    bool differential) {
+  PowerSimOptions opts;
+  opts.precharge_inputs = differential;
+  PowerSimulator sim(nl, caps, opts);
+  Rng rng(setup.seed);
+  Rng noise_rng(setup.seed ^ 0x5CA1AB1Eu);
+
+  drive_value(sim, "k", 6, setup.key, differential);
+
+  DesDpaCampaign campaign{
+      DpaAnalysis(des_selection(setup.select_bit, setup.sbox)), {}};
+
+  for (int i = 0; i < setup.warmup_cycles; ++i) {
+    drive_value(sim, "pl", 4, static_cast<std::uint32_t>(rng.next_below(16)),
+                differential);
+    drive_value(sim, "pr", 6, static_cast<std::uint32_t>(rng.next_below(64)),
+                differential);
+    sim.run_cycle();
+  }
+
+  // The CL/CR registers delay the observable by one cycle: the trace of
+  // cycle i (where the predicted PL bits live) pairs with the ciphertext
+  // read during cycle i+1.
+  DpaMeasurement pending;
+  bool have_pending = false;
+  for (int i = 0; i < setup.n_measurements + 1; ++i) {
+    drive_value(sim, "pl", 4, static_cast<std::uint32_t>(rng.next_below(16)),
+                differential);
+    drive_value(sim, "pr", 6, static_cast<std::uint32_t>(rng.next_below(64)),
+                differential);
+    CycleTrace trace = sim.run_cycle();
+    if (have_pending) {
+      const std::uint32_t cl = read_value(sim, "cl", 4, differential);
+      const std::uint32_t cr = read_value(sim, "cr", 6, differential);
+      pending.ciphertext = cl | (cr << 4);
+      campaign.dpa.add_measurement(std::move(pending));
+    }
+    pending = DpaMeasurement{};
+    pending.samples = std::move(trace.current_ma);
+    if (setup.noise_ma > 0.0) {
+      for (double& s : pending.samples) {
+        s += setup.noise_ma * noise_rng.next_gaussian();
+      }
+    }
+    have_pending = true;
+    campaign.cycle_energies_pj.push_back(trace.energy_pj);
+  }
+  campaign.cycle_energies_pj.pop_back();  // keep n_measurements entries
+  return campaign;
+}
+
+DpaAnalysis run_des_dpa_regular(const Netlist& rtl, const CapTable& caps,
+                                const DesDpaSetup& setup) {
+  return run_des_dpa_campaign(rtl, caps, setup, /*differential=*/false).dpa;
+}
+
+DpaAnalysis run_des_dpa_secure(const Netlist& diff, const CapTable& caps,
+                               const DesDpaSetup& setup) {
+  return run_des_dpa_campaign(diff, caps, setup, /*differential=*/true).dpa;
+}
+
+}  // namespace secflow

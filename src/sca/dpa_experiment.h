@@ -1,0 +1,52 @@
+// The paper's DPA experiment (section 3): drive the reduced-DES circuit
+// with random plaintexts and a fixed secret key, record one supply-current
+// trace per encryption, and mount the DPA of Fig 6.
+//
+// Works on any implementation of the Fig 4 interface — the regular
+// single-ended netlist or the WDDL differential netlist — given the
+// netlist and its extracted switched-capacitance table.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+#include "sca/dpa.h"
+#include "sim/power_sim.h"
+
+namespace secflow {
+
+struct DesDpaSetup {
+  std::uint32_t key = 46;      ///< the paper's secret key
+  int select_bit = 2;          ///< "3rd bit of PL"
+  int sbox = 1;
+  int n_measurements = 2000;   ///< the paper's trace count
+  int warmup_cycles = 4;
+  std::uint64_t seed = 2025;
+  /// Gaussian measurement noise added per sample [mA] (the paper's traces
+  /// include measurement noise; 0 disables).
+  double noise_ma = 0.0;
+};
+
+/// Selection function for the Fig 4 ciphertext packing (cl | cr << 4).
+SelectionFn des_selection(int bit, int sbox = 1);
+
+/// Run the measurement campaign on a regular (single-ended) reduced-DES
+/// netlist with ports pl_*, pr_*, k_*, clk, cl_*, cr_*.
+DpaAnalysis run_des_dpa_regular(const Netlist& rtl, const CapTable& caps,
+                                const DesDpaSetup& setup);
+
+/// Run the campaign on the WDDL differential netlist (rail ports *_t/_f).
+DpaAnalysis run_des_dpa_secure(const Netlist& diff, const CapTable& caps,
+                               const DesDpaSetup& setup);
+
+/// Per-cycle energies recorded during a campaign (for the NED/NSD table).
+struct DesDpaCampaign {
+  DpaAnalysis dpa;
+  std::vector<double> cycle_energies_pj;
+};
+
+DesDpaCampaign run_des_dpa_campaign(const Netlist& nl, const CapTable& caps,
+                                    const DesDpaSetup& setup,
+                                    bool differential);
+
+}  // namespace secflow

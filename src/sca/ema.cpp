@@ -1,0 +1,38 @@
+#include "sca/ema.h"
+
+#include <cmath>
+
+#include "base/error.h"
+
+namespace secflow {
+
+EmaFigures ema_far_field(const EmaGeometry& g) {
+  SECFLOW_CHECK(g.wire_length_um > 0 && g.separation_um > 0 &&
+                    g.probe_distance_mm > 0,
+                "EMA geometry must be positive");
+  const double L = g.wire_length_um * 1e-6;
+  const double s = g.separation_um * 1e-6;
+  const double d = g.probe_distance_mm * 1e-3;
+
+  // Finite straight filament, probe on the perpendicular bisector:
+  // B = (mu0 I / 4 pi d) * L / sqrt(d^2 + (L/2)^2); with I = 1 and the
+  // constant folded out (all figures are ratios).
+  const double single = (1.0 / d) * (L / std::sqrt(d * d + 0.25 * L * L));
+  // Antiparallel pair: fields cancel to first order; the residual is the
+  // gradient times the separation: |B_pair| ~= |dB/dd| * s ~= B * s * 2/d
+  // in the far field (d >> L).
+  const double pair = single * (2.0 * s / d);
+
+  EmaFigures f;
+  f.single_wire_field = single;
+  f.differential_pair_field = pair;
+  f.suppression_ratio = pair / single;
+  return f;
+}
+
+double ema_extra_precision_bits(const EmaGeometry& g) {
+  const EmaFigures f = ema_far_field(g);
+  return std::log2(1.0 / f.suppression_ratio);
+}
+
+}  // namespace secflow

@@ -1,0 +1,37 @@
+// Electromagnetic Analysis feasibility model (paper section 4.2, Fig 7).
+//
+// The differential routes are two antiparallel current filaments about one
+// pitch apart; the measurement probe sits millimetres away.  A single
+// filament's field falls as 1/d; the antiparallel pair forms a line dipole
+// whose net field falls as s/d^2 relative, i.e. the pair's field is
+// suppressed by a factor ~ s/d versus a single wire.  This module
+// quantifies that suppression over the paper's geometry (s ~= 1 um,
+// d = 1..10 mm, L = 10..100 um).
+#pragma once
+
+namespace secflow {
+
+struct EmaGeometry {
+  double wire_length_um = 100.0;  ///< antenna length (10..100 um)
+  double separation_um = 1.0;     ///< differential pair spacing (~1 pitch)
+  double probe_distance_mm = 1.0; ///< probe standoff (1..10 mm)
+};
+
+struct EmaFigures {
+  /// |B| of a single filament at the probe, arbitrary units (I = 1).
+  double single_wire_field;
+  /// |B| of the antiparallel pair at the probe.
+  double differential_pair_field;
+  /// pair / single: the attenuation the probe must overcome to tell which
+  /// rail carried the charge.
+  double suppression_ratio;
+};
+
+/// Magnetostatic estimate for the Fig 7 geometry.
+EmaFigures ema_far_field(const EmaGeometry& g);
+
+/// Number of bits of additional measurement precision an EMA needs over a
+/// direct power attack to resolve the rail asymmetry: log2(1/suppression).
+double ema_extra_precision_bits(const EmaGeometry& g);
+
+}  // namespace secflow

@@ -1,0 +1,295 @@
+#include "sim/power_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.h"
+
+namespace secflow {
+
+double CycleTrace::peak_ma() const {
+  double p = 0.0;
+  for (double v : current_ma) p = std::max(p, std::abs(v));
+  return p;
+}
+
+PowerSimulator::PowerSimulator(const Netlist& nl, CapTable caps,
+                               const PowerSimOptions& opts)
+    : nl_(nl),
+      caps_(std::move(caps)),
+      opts_(opts),
+      net_val_(nl.n_nets(), 0),
+      mid_val_(nl.n_nets(), 0),
+      net_next_(nl.n_nets(), 0),
+      flop_state_(nl.n_instances(), 0),
+      input_val_(nl.n_ports(), 0) {
+  cap_of_.resize(nl.n_nets());
+  for (NetId id : nl.net_ids()) {
+    const auto it = caps_.find(nl.net(id).name);
+    if (it != caps_.end()) {
+      cap_of_[id.index()] = it->second;
+    } else {
+      // Fallback: sink pin caps plus a nominal local wire.
+      double c = 1.0;
+      for (const PinRef& p : nl.net(id).pins) {
+        const CellType& type = nl.cell_of(p.inst);
+        const PinDef& pin = type.pins[static_cast<std::size_t>(p.pin)];
+        if (pin.dir == PinDir::kInput) c += pin.cap_ff;
+      }
+      cap_of_[id.index()] = c;
+    }
+  }
+  find_clock();
+}
+
+void PowerSimulator::find_clock() {
+  for (InstId iid : nl_.instance_ids()) {
+    const CellType& type = nl_.cell_of(iid);
+    if (type.kind != CellKind::kFlop) continue;
+    const NetId ck =
+        nl_.instance(iid).conns[static_cast<std::size_t>(type.ck_pin())];
+    SECFLOW_CHECK(ck.valid(), "flop without clock net");
+    SECFLOW_CHECK(!clock_net_.valid() || clock_net_ == ck,
+                  "multiple clock nets");
+    clock_net_ = ck;
+  }
+  if (clock_net_.valid()) {
+    const auto port = nl_.driving_port(clock_net_);
+    SECFLOW_CHECK(port.has_value(), "clock must be driven by an input port");
+    clock_port_ = *port;
+  }
+}
+
+void PowerSimulator::set_input(const std::string& port, bool value) {
+  const PortId pid = nl_.find_port(port);
+  SECFLOW_CHECK(pid.valid(), "unknown port: " + port);
+  SECFLOW_CHECK(nl_.port(pid).dir == PinDir::kInput,
+                "not an input port: " + port);
+  SECFLOW_CHECK(!(clock_port_.valid() && pid == clock_port_),
+                "the clock is driven by the simulator");
+  input_val_[pid.index()] = value ? 1 : 0;
+}
+
+double PowerSimulator::net_cap(NetId id) const { return cap_of_[id.index()]; }
+
+double PowerSimulator::gate_delay(InstId driver, NetId out) const {
+  const CellType& type = nl_.cell_of(driver);
+  return type.intrinsic_delay_ps + type.drive_res_kohm * net_cap(out);
+}
+
+void PowerSimulator::schedule(double t, NetId net, bool value) {
+  if (net_next_[net.index()] == (value ? 1 : 0)) return;
+  net_next_[net.index()] = value ? 1 : 0;
+  queue_.push(Event{t, net, value, seq_++});
+}
+
+void PowerSimulator::deposit_charge(CycleTrace& trace, double t_ps,
+                                    double charge_fc, double tau_ps) const {
+  // Exponential pulse i(t) = (Q/tau) e^{-(t-t0)/tau}, discretized so the
+  // sampled sum carries exactly Q.  fC per ps is mA.
+  const double dt = opts_.sampling.sample_dt_s() * 1e12;  // ps per sample
+  const int n = static_cast<int>(trace.current_ma.size());
+  int bin = static_cast<int>(t_ps / dt);
+  if (bin >= n) return;  // event spilled past the cycle end
+  if (bin < 0) bin = 0;
+  double remaining = charge_fc;
+  for (int k = bin; k < n && remaining > 1e-9; ++k) {
+    const double t0 = std::max(t_ps, k * dt);
+    const double t1 = (k + 1) * dt;
+    if (t1 <= t0) continue;
+    // Charge delivered within [t0, t1).
+    const double q = charge_fc * (std::exp(-(t0 - t_ps) / tau_ps) -
+                                  std::exp(-(t1 - t_ps) / tau_ps));
+    trace.current_ma[static_cast<std::size_t>(k)] += q / dt;
+    remaining -= q;
+  }
+}
+
+void PowerSimulator::apply_event(const Event& ev, CycleTrace* trace,
+                                 double t_offset) {
+  const std::size_t idx = ev.net.index();
+  if (net_val_[idx] == (ev.value ? 1 : 0)) return;
+  net_val_[idx] = ev.value ? 1 : 0;
+  if (trace != nullptr) {
+    ++trace->transitions;
+    if (ev.value) {
+      // Rising edge draws supply charge for the net plus the driver's
+      // internal nodes.
+      double c = net_cap(ev.net);
+      double tau = opts_.min_tau_ps;
+      if (const auto drv = nl_.driver(ev.net)) {
+        const CellType& type = nl_.cell_of(drv->inst);
+        c += type.internal_cap_ff;
+        tau = std::max(tau, type.drive_res_kohm * net_cap(ev.net));
+      }
+      const double q_fc = c * opts_.process.vdd_v;
+      trace->energy_pj += opts_.process.switch_energy_pj(c);
+      deposit_charge(*trace, ev.time_ps - t_offset, q_fc, tau);
+    }
+  }
+  // Propagate to combinational sinks.
+  for (const PinRef& sink : nl_.net(ev.net).pins) {
+    const CellType& type = nl_.cell_of(sink.inst);
+    if (type.kind != CellKind::kCombinational) continue;
+    const Instance& in = nl_.instance(sink.inst);
+    const int out_pin = type.output_pin();
+    const NetId out = in.conns[static_cast<std::size_t>(out_pin)];
+    if (!out.valid()) continue;
+    std::uint64_t bits = 0;
+    int k = 0;
+    for (int pin : type.input_pins()) {
+      const NetId net = in.conns[static_cast<std::size_t>(pin)];
+      if (net.valid() && net_val_[net.index()]) bits |= std::uint64_t{1} << k;
+      ++k;
+    }
+    schedule(ev.time_ps + gate_delay(sink.inst, out),
+             out, type.function.eval(bits));
+  }
+}
+
+void PowerSimulator::drain_until(double t_end, CycleTrace* trace,
+                                 double t_offset) {
+  while (!queue_.empty() && queue_.top().time_ps <= t_end) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    apply_event(ev, trace, t_offset);
+  }
+}
+
+void PowerSimulator::capture_flops(bool rising) {
+  // Capture simultaneously from current values, then schedule Q updates.
+  std::vector<std::pair<InstId, bool>> captured;
+  for (InstId iid : nl_.instance_ids()) {
+    const CellType& type = nl_.cell_of(iid);
+    if (type.kind != CellKind::kFlop) continue;
+    if (type.negedge_clock == rising) continue;
+    const Instance& in = nl_.instance(iid);
+    const NetId d = in.conns[static_cast<std::size_t>(type.d_pin())];
+    SECFLOW_CHECK(d.valid(), "flop with floating D: " + in.name);
+    const bool v =
+        type.function.eval(net_val_[d.index()] ? 1 : 0);
+    captured.emplace_back(iid, v);
+  }
+  const double edge = now_ps_;
+  for (const auto& [iid, v] : captured) {
+    flop_state_[iid.index()] = v ? 1 : 0;
+    const CellType& type = nl_.cell_of(iid);
+    const Instance& in = nl_.instance(iid);
+    const NetId q = in.conns[static_cast<std::size_t>(type.output_pin())];
+    if (q.valid()) schedule(edge + type.intrinsic_delay_ps, q, v);
+  }
+}
+
+CycleTrace PowerSimulator::run_cycle(double period_ps) {
+  const double period =
+      period_ps > 0.0 ? period_ps : opts_.sampling.cycle_s() * 1e12;
+  CycleTrace trace;
+  trace.current_ma.assign(
+      static_cast<std::size_t>(opts_.sampling.samples_per_cycle), 0.0);
+  const double start = now_ps_;
+
+  // Rising edge.
+  capture_flops(/*rising=*/true);
+  if (clock_net_.valid()) {
+    schedule(start + opts_.clock_net_delay_ps, clock_net_, true);
+  }
+  for (PortId pid : nl_.port_ids()) {
+    const Port& p = nl_.port(pid);
+    if (p.dir != PinDir::kInput) continue;
+    if (clock_port_.valid() && pid == clock_port_) continue;
+    schedule(start + opts_.input_delay_ps, p.net,
+             input_val_[pid.index()] != 0);
+  }
+  now_ps_ = start;
+  drain_until(start + period / 2, &trace, start);
+  now_ps_ = start + period / 2;
+  mid_val_ = net_val_;
+
+  // Falling edge.
+  capture_flops(/*rising=*/false);
+  if (clock_net_.valid()) {
+    schedule(now_ps_ + opts_.clock_net_delay_ps, clock_net_, false);
+  }
+  if (opts_.precharge_inputs) {
+    for (PortId pid : nl_.port_ids()) {
+      const Port& p = nl_.port(pid);
+      if (p.dir != PinDir::kInput) continue;
+      if (clock_port_.valid() && pid == clock_port_) continue;
+      schedule(now_ps_ + opts_.input_delay_ps, p.net, false);
+    }
+  }
+  drain_until(start + period, &trace, start);
+  now_ps_ = start + period;
+  return trace;
+}
+
+bool PowerSimulator::net_value(const std::string& net) const {
+  const NetId id = nl_.find_net(net);
+  SECFLOW_CHECK(id.valid(), "unknown net: " + net);
+  return net_val_[id.index()] != 0;
+}
+
+bool PowerSimulator::output(const std::string& port) const {
+  const PortId pid = nl_.find_port(port);
+  SECFLOW_CHECK(pid.valid(), "unknown port: " + port);
+  return net_val_[nl_.port(pid).net.index()] != 0;
+}
+
+bool PowerSimulator::output_at_eval(const std::string& port) const {
+  const PortId pid = nl_.find_port(port);
+  SECFLOW_CHECK(pid.valid(), "unknown port: " + port);
+  return mid_val_[nl_.port(pid).net.index()] != 0;
+}
+
+bool PowerSimulator::flop_state(InstId flop) const {
+  return flop_state_[flop.index()] != 0;
+}
+
+void PowerSimulator::set_flop_state(InstId flop, bool value) {
+  SECFLOW_CHECK(nl_.cell_of(flop).kind == CellKind::kFlop, "not a flop");
+  flop_state_[flop.index()] = value ? 1 : 0;
+  // Drive its Q immediately (initialization convenience).
+  const Instance& in = nl_.instance(flop);
+  const CellType& type = nl_.cell_of(flop);
+  const NetId q = in.conns[static_cast<std::size_t>(type.output_pin())];
+  if (q.valid()) schedule(now_ps_, q, value);
+}
+
+void PowerSimulator::settle() {
+  for (PortId pid : nl_.port_ids()) {
+    const Port& p = nl_.port(pid);
+    if (p.dir != PinDir::kInput) continue;
+    if (clock_port_.valid() && pid == clock_port_) continue;
+    schedule(now_ps_, p.net, input_val_[pid.index()] != 0);
+  }
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ps_ = std::max(now_ps_, ev.time_ps);
+    apply_event(ev, nullptr, now_ps_);
+  }
+}
+
+EnergyStats compute_energy_stats(const std::vector<double>& energies_pj) {
+  EnergyStats s;
+  if (energies_pj.empty()) return s;
+  s.min_pj = energies_pj[0];
+  s.max_pj = energies_pj[0];
+  double sum = 0.0;
+  for (double e : energies_pj) {
+    sum += e;
+    s.min_pj = std::min(s.min_pj, e);
+    s.max_pj = std::max(s.max_pj, e);
+  }
+  s.mean_pj = sum / static_cast<double>(energies_pj.size());
+  double var = 0.0;
+  for (double e : energies_pj) var += (e - s.mean_pj) * (e - s.mean_pj);
+  var /= static_cast<double>(energies_pj.size());
+  if (s.mean_pj > 0.0) {
+    s.ned = (s.max_pj - s.min_pj) / s.mean_pj;
+    s.nsd = std::sqrt(var) / s.mean_pj;
+  }
+  return s;
+}
+
+}  // namespace secflow

@@ -1,0 +1,132 @@
+// Event-driven gate-level power simulation (the HSpice stand-in).
+//
+// Switched-capacitance model: every rising net transition draws
+// Q = (C_net + C_internal(driver)) * VDD from the supply at the event's
+// (load-dependent) time; each charge is deposited on the sampled
+// supply-current trace as an exponentially decaying pulse.  The paper's
+// measurement setup is reproduced: 125 MHz clock, 800 samples per cycle.
+//
+// One cycle is simulated in two half-phases so both regular synchronous
+// designs and WDDL differential designs run on the same engine:
+//   t=0    rising clock edge:  posedge flops capture, clock net -> 1,
+//          new input values arrive; events propagate.
+//   t=T/2  falling clock edge: negedge flops (WDDL masters) capture,
+//          clock net -> 0; with precharge_inputs, all data inputs -> 0
+//          (the WDDL precharge wave); events propagate to t=T.
+#pragma once
+
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/units.h"
+#include "netlist/netlist.h"
+
+namespace secflow {
+
+using CapTable = std::unordered_map<std::string, double>;  // net -> fF
+
+struct PowerSimOptions {
+  SamplingSpec sampling;
+  Process018 process;
+  /// Data input arrival time after the active edge [ps].
+  double input_delay_ps = 100.0;
+  /// Minimum current-pulse time constant [ps].
+  double min_tau_ps = 30.0;
+  /// Drive all data input ports to 0 at the falling edge (WDDL mode).
+  bool precharge_inputs = false;
+  /// Delay from the ideal clock edge to the clock *net* transition seen by
+  /// gates (clock-tree insertion delay).  Must exceed the flop clk->q
+  /// delay so WDDL output AND gates open on the new slave value.
+  double clock_net_delay_ps = 250.0;
+};
+
+struct CycleTrace {
+  std::vector<double> current_ma;  ///< samples_per_cycle supply samples
+  double energy_pj = 0.0;          ///< total supply charge * VDD
+  int transitions = 0;             ///< net value changes (both directions)
+
+  double peak_ma() const;
+};
+
+class PowerSimulator {
+ public:
+  PowerSimulator(const Netlist& nl, CapTable caps,
+                 const PowerSimOptions& opts = {});
+
+  /// Set a data input port's value for the next cycle's evaluate phase.
+  void set_input(const std::string& port, bool value);
+
+  /// Simulate one full clock cycle; `period_ps` overrides the nominal
+  /// period (used by the DFA glitch experiment).  Returns the supply
+  /// current trace.
+  CycleTrace run_cycle(double period_ps = 0.0);
+
+  /// Settled value of a net / output port after the last cycle.
+  bool net_value(const std::string& net) const;
+  bool output(const std::string& port) const;
+  /// Output port value snapshotted at the end of the evaluate phase (T/2)
+  /// of the last cycle — the observable of a WDDL design, whose rails are
+  /// precharged to 0 by the end of the full cycle.
+  bool output_at_eval(const std::string& port) const;
+  bool flop_state(InstId flop) const;
+  void set_flop_state(InstId flop, bool value);
+
+  /// Force-settle current input values without booking power (testbench
+  /// initialization).
+  void settle();
+
+  const Netlist& netlist() const { return nl_; }
+
+ private:
+  struct Event {
+    double time_ps;
+    NetId net;
+    bool value;
+    long seq;  // FIFO tie-break for determinism
+    bool operator>(const Event& o) const {
+      return time_ps != o.time_ps ? time_ps > o.time_ps : seq > o.seq;
+    }
+  };
+
+  double net_cap(NetId id) const;
+  double gate_delay(InstId driver, NetId out) const;
+  void schedule(double t, NetId net, bool value);
+  void apply_event(const Event& ev, CycleTrace* trace, double t_offset);
+  void deposit_charge(CycleTrace& trace, double t_ps, double charge_fc,
+                      double tau_ps) const;
+  void capture_flops(bool rising);
+  void drain_until(double t_end, CycleTrace* trace, double t_offset = 0.0);
+  void find_clock();
+
+  const Netlist& nl_;
+  CapTable caps_;
+  PowerSimOptions opts_;
+  std::vector<char> net_val_;
+  std::vector<char> mid_val_;     // snapshot at T/2 of the last cycle
+  std::vector<char> net_next_;    // last scheduled value per net
+  std::vector<char> flop_state_;
+  std::vector<char> input_val_;   // per port
+  std::vector<double> cap_of_;    // resolved per net
+  PortId clock_port_;
+  NetId clock_net_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  long seq_ = 0;
+  double now_ps_ = 0.0;
+};
+
+/// Energy statistics over a set of per-cycle energies: the paper's
+/// normalized energy deviation (max-min)/mean and normalized standard
+/// deviation sigma/mean.
+struct EnergyStats {
+  double mean_pj = 0.0;
+  double min_pj = 0.0;
+  double max_pj = 0.0;
+  double ned = 0.0;  ///< (max - min) / mean
+  double nsd = 0.0;  ///< stddev / mean
+};
+
+EnergyStats compute_energy_stats(const std::vector<double>& energies_pj);
+
+}  // namespace secflow

@@ -1,0 +1,123 @@
+#include "synth/aig.h"
+
+#include <algorithm>
+
+#include "base/error.h"
+
+namespace secflow {
+
+Aig::Aig() {
+  nodes_.push_back(Node{});  // node 0: constant 0
+}
+
+AigLit Aig::new_input(const std::string& name) {
+  const std::uint32_t id = static_cast<std::uint32_t>(nodes_.size());
+  Node n;
+  n.input = true;
+  n.name = name;
+  nodes_.push_back(std::move(n));
+  ++n_inputs_;
+  return aig_lit(id, false);
+}
+
+AigLit Aig::land(AigLit a, AigLit b) {
+  // Constant folding and trivial cases.
+  if (a == kAigFalse || b == kAigFalse) return kAigFalse;
+  if (a == kAigTrue) return b;
+  if (b == kAigTrue) return a;
+  if (a == b) return a;
+  if (a == aig_not(b)) return kAigFalse;
+  // Canonical order for structural hashing.
+  if (a > b) std::swap(a, b);
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  const auto it = strash_.find(key);
+  if (it != strash_.end()) return aig_lit(it->second, false);
+  const std::uint32_t id = static_cast<std::uint32_t>(nodes_.size());
+  Node n;
+  n.f0 = a;
+  n.f1 = b;
+  nodes_.push_back(std::move(n));
+  strash_.emplace(key, id);
+  ++n_ands_;
+  return aig_lit(id, false);
+}
+
+AigLit Aig::land_many(std::vector<AigLit> lits) {
+  if (lits.empty()) return kAigTrue;
+  while (lits.size() > 1) {
+    std::vector<AigLit> next;
+    next.reserve((lits.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < lits.size(); i += 2) {
+      next.push_back(land(lits[i], lits[i + 1]));
+    }
+    if (lits.size() % 2) next.push_back(lits.back());
+    lits = std::move(next);
+  }
+  return lits.front();
+}
+
+AigLit Aig::lor_many(std::vector<AigLit> lits) {
+  for (AigLit& l : lits) l = aig_not(l);
+  return aig_not(land_many(std::move(lits)));
+}
+
+bool Aig::is_input(std::uint32_t node) const {
+  SECFLOW_CHECK(node < nodes_.size(), "bad AIG node");
+  return nodes_[node].input;
+}
+
+bool Aig::is_and(std::uint32_t node) const {
+  SECFLOW_CHECK(node < nodes_.size(), "bad AIG node");
+  return node != 0 && !nodes_[node].input;
+}
+
+AigLit Aig::fanin0(std::uint32_t node) const {
+  SECFLOW_CHECK(is_and(node), "fanin of non-AND node");
+  return nodes_[node].f0;
+}
+
+AigLit Aig::fanin1(std::uint32_t node) const {
+  SECFLOW_CHECK(is_and(node), "fanin of non-AND node");
+  return nodes_[node].f1;
+}
+
+const std::string& Aig::input_name(std::uint32_t node) const {
+  SECFLOW_CHECK(is_input(node), "name of non-input node");
+  return nodes_[node].name;
+}
+
+bool Aig::eval(AigLit root, const std::vector<bool>& input_values) const {
+  std::vector<char> value(nodes_.size(), 0);
+  value[0] = 0;
+  for (std::uint32_t id = 1; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.input) {
+      value[id] = id < input_values.size() && input_values[id] ? 1 : 0;
+    } else {
+      const bool v0 = (value[aig_node(n.f0)] != 0) != aig_complemented(n.f0);
+      const bool v1 = (value[aig_node(n.f1)] != 0) != aig_complemented(n.f1);
+      value[id] = (v0 && v1) ? 1 : 0;
+    }
+  }
+  return (value[aig_node(root)] != 0) != aig_complemented(root);
+}
+
+std::vector<std::uint32_t> Aig::and_nodes() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(n_ands_);
+  for (std::uint32_t id = 1; id < nodes_.size(); ++id) {
+    if (!nodes_[id].input) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Aig::input_nodes() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(n_inputs_);
+  for (std::uint32_t id = 1; id < nodes_.size(); ++id) {
+    if (nodes_[id].input) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace secflow

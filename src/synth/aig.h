@@ -1,0 +1,90 @@
+// And-Inverter Graph with structural hashing and constant folding.
+//
+// Literals encode (node, phase): lit = 2*node + complement.  Node 0 is the
+// constant-0 node, so literal 0 is constant 0 and literal 1 is constant 1.
+// Primary inputs are nodes with no fanin; AND nodes have two fanin literals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace secflow {
+
+using AigLit = std::uint32_t;
+
+inline constexpr AigLit kAigFalse = 0;
+inline constexpr AigLit kAigTrue = 1;
+
+inline constexpr AigLit aig_not(AigLit l) { return l ^ 1u; }
+inline constexpr std::uint32_t aig_node(AigLit l) { return l >> 1; }
+inline constexpr bool aig_complemented(AigLit l) { return (l & 1u) != 0; }
+inline constexpr AigLit aig_lit(std::uint32_t node, bool complemented) {
+  return (node << 1) | (complemented ? 1u : 0u);
+}
+
+class Aig {
+ public:
+  Aig();
+
+  /// Create a primary input node; returns its positive literal.
+  AigLit new_input(const std::string& name = "");
+
+  /// Structural-hashed AND with constant folding (a&0=0, a&1=a, a&a=a,
+  /// a&!a=0).  Returns an existing node when one matches.
+  AigLit land(AigLit a, AigLit b);
+
+  AigLit lor(AigLit a, AigLit b) {
+    return aig_not(land(aig_not(a), aig_not(b)));
+  }
+  AigLit lxor(AigLit a, AigLit b) {
+    return lor(land(a, aig_not(b)), land(aig_not(a), b));
+  }
+  AigLit lxnor(AigLit a, AigLit b) { return aig_not(lxor(a, b)); }
+  AigLit lnand(AigLit a, AigLit b) { return aig_not(land(a, b)); }
+  AigLit lnor(AigLit a, AigLit b) { return aig_not(lor(a, b)); }
+  /// sel ? t : f
+  AigLit lmux(AigLit sel, AigLit t, AigLit f) {
+    return lor(land(sel, t), land(aig_not(sel), f));
+  }
+  /// AND/OR over a list (balanced tree); empty list yields the identity
+  /// element (1 for AND, 0 for OR).
+  AigLit land_many(std::vector<AigLit> lits);
+  AigLit lor_many(std::vector<AigLit> lits);
+
+  std::uint32_t n_nodes() const { return static_cast<std::uint32_t>(nodes_.size()); }
+  std::uint32_t n_ands() const { return n_ands_; }
+  std::uint32_t n_inputs() const { return n_inputs_; }
+
+  bool is_input(std::uint32_t node) const;
+  bool is_const(std::uint32_t node) const { return node == 0; }
+  bool is_and(std::uint32_t node) const;
+  AigLit fanin0(std::uint32_t node) const;
+  AigLit fanin1(std::uint32_t node) const;
+  const std::string& input_name(std::uint32_t node) const;
+
+  /// Evaluate a literal given values for all primary inputs
+  /// (indexed by node id; non-input entries ignored).
+  bool eval(AigLit root, const std::vector<bool>& input_values) const;
+
+  /// All AND node ids in topological (creation) order.
+  std::vector<std::uint32_t> and_nodes() const;
+  /// All primary input node ids in creation order.
+  std::vector<std::uint32_t> input_nodes() const;
+
+ private:
+  struct Node {
+    AigLit f0 = 0;   // fanins; meaningful only for AND nodes
+    AigLit f1 = 0;
+    bool input = false;
+    std::string name;  // inputs only
+  };
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+  std::uint32_t n_ands_ = 0;
+  std::uint32_t n_inputs_ = 0;
+};
+
+}  // namespace secflow

@@ -1,0 +1,86 @@
+#include "synth/circuit.h"
+
+#include <algorithm>
+
+#include "base/error.h"
+
+namespace secflow {
+
+std::string circuit_bit_name(const std::string& base, int bit, int width) {
+  return width == 1 ? base : base + "_" + std::to_string(bit);
+}
+
+CircuitBuilder::CircuitBuilder(std::string module_name) {
+  circuit_.name = std::move(module_name);
+}
+
+std::string CircuitBuilder::bit_name(const std::string& base, int bit,
+                                     int width) {
+  return circuit_bit_name(base, bit, width);
+}
+
+std::vector<AigLit> CircuitBuilder::input(const std::string& name, int width) {
+  SECFLOW_CHECK(width >= 1, "input width");
+  std::vector<AigLit> bits;
+  bits.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    const std::string bn = bit_name(name, i, width);
+    const AigLit lit = circuit_.aig.new_input(bn);
+    circuit_.inputs.push_back(CircuitBit{bn, lit});
+    bits.push_back(lit);
+  }
+  return bits;
+}
+
+std::vector<AigLit> CircuitBuilder::reg(const std::string& name, int width) {
+  SECFLOW_CHECK(width >= 1, "reg width");
+  std::vector<AigLit> bits;
+  bits.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    const std::string bn = bit_name(name, i, width);
+    const AigLit q = circuit_.aig.new_input("reg:" + bn);
+    circuit_.regs.push_back(CircuitReg{bn, q, 0});
+    pending_regs_.push_back(bn);
+    bits.push_back(q);
+  }
+  return bits;
+}
+
+void CircuitBuilder::set_next(const std::string& name,
+                              const std::vector<AigLit>& next) {
+  int matched = 0;
+  for (CircuitReg& r : circuit_.regs) {
+    // Vector bits are name_<i>; scalar is the plain name.
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      const std::string bn =
+          bit_name(name, static_cast<int>(i), static_cast<int>(next.size()));
+      if (r.name == bn) {
+        r.next = next[i];
+        ++matched;
+        pending_regs_.erase(
+            std::remove(pending_regs_.begin(), pending_regs_.end(), bn),
+            pending_regs_.end());
+      }
+    }
+  }
+  SECFLOW_CHECK(matched == static_cast<int>(next.size()),
+                "set_next: register " + name + " width mismatch or unknown");
+}
+
+void CircuitBuilder::output(const std::string& name,
+                            const std::vector<AigLit>& bits) {
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const std::string bn =
+        bit_name(name, static_cast<int>(i), static_cast<int>(bits.size()));
+    circuit_.outputs.push_back(CircuitBit{bn, bits[i]});
+  }
+}
+
+AigCircuit CircuitBuilder::take() {
+  SECFLOW_CHECK(pending_regs_.empty(),
+                "register without next-state: " +
+                    (pending_regs_.empty() ? "" : pending_regs_.front()));
+  return std::move(circuit_);
+}
+
+}  // namespace secflow

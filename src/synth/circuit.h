@@ -1,0 +1,67 @@
+// Bit-level circuit on top of the AIG: named inputs/outputs and registers.
+//
+// AigCircuit is the synthesis-facing intermediate form: the mini-HDL
+// front-end (hdl_parser.h) and the programmatic CircuitBuilder both produce
+// it, and the technology mapper (techmap.h) consumes it.  Register outputs
+// are AIG primary inputs; their next-state literals close the sequential
+// loop at mapping time via DFF cells.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "synth/aig.h"
+
+namespace secflow {
+
+struct CircuitBit {
+  std::string name;  ///< scalar signal name (vector bits use name_<i>)
+  AigLit lit = 0;
+};
+
+struct CircuitReg {
+  std::string name;
+  AigLit q = 0;     ///< register output (an AIG primary input)
+  AigLit next = 0;  ///< next-state function
+};
+
+struct AigCircuit {
+  Aig aig;
+  std::vector<CircuitBit> inputs;
+  std::vector<CircuitBit> outputs;
+  std::vector<CircuitReg> regs;
+  std::string name = "top";
+  std::string clock = "clk";  ///< clock port name (present iff regs exist)
+};
+
+/// Convenience builder for constructing AigCircuits from C++ (used by the
+/// crypto circuit generators and tests).
+class CircuitBuilder {
+ public:
+  explicit CircuitBuilder(std::string module_name);
+
+  /// Declare an input vector; returns its bit literals, LSB first.
+  std::vector<AigLit> input(const std::string& name, int width = 1);
+  /// Declare a register vector; returns the Q literals, LSB first.
+  std::vector<AigLit> reg(const std::string& name, int width = 1);
+  /// Set a register's next-state bits (same order as reg() returned).
+  void set_next(const std::string& name, const std::vector<AigLit>& next);
+  /// Declare an output vector driven by `bits`.
+  void output(const std::string& name, const std::vector<AigLit>& bits);
+
+  Aig& aig() { return circuit_.aig; }
+  /// Finalize: checks every register got a next-state and returns the
+  /// circuit (builder must not be used afterwards).
+  AigCircuit take();
+
+ private:
+  AigCircuit circuit_;
+  std::vector<std::string> pending_regs_;
+
+  static std::string bit_name(const std::string& base, int bit, int width);
+};
+
+/// Name of bit `bit` of a `width`-wide signal (name itself when width==1).
+std::string circuit_bit_name(const std::string& base, int bit, int width);
+
+}  // namespace secflow

@@ -1,0 +1,730 @@
+#include "synth/hdl.h"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "base/error.h"
+
+namespace secflow {
+namespace {
+
+// --- lexer ------------------------------------------------------------------
+
+struct Token {
+  enum Kind { kIdent, kLiteral, kNumber, kPunct, kEnd } kind = kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Token next() {
+    skip();
+    if (pos_ >= text_.size()) return {Token::kEnd, "", line_};
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string s;
+      while (pos_ < text_.size()) {
+        const char d = text_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+            d == '$') {
+          s += d;
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      return {Token::kIdent, s, line_};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string s;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        s += text_[pos_++];
+      }
+      if (pos_ < text_.size() && text_[pos_] == '\'') {
+        // Sized literal: WIDTH'b0101 / WIDTH'd46.
+        s += text_[pos_++];
+        while (pos_ < text_.size()) {
+          const char d = text_[pos_];
+          if (std::isalnum(static_cast<unsigned char>(d)) || d == '_') {
+            s += d;
+            ++pos_;
+          } else {
+            break;
+          }
+        }
+        return {Token::kLiteral, s, line_};
+      }
+      return {Token::kNumber, s, line_};
+    }
+    // Two-character operator <=.
+    if (c == '<' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+      pos_ += 2;
+      return {Token::kPunct, "<=", line_};
+    }
+    ++pos_;
+    return {Token::kPunct, std::string(1, c), line_};
+  }
+
+ private:
+  void skip() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, text_.size());
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// --- AST ---------------------------------------------------------------------
+
+struct Expr {
+  enum Kind { kConst, kIdent, kBitSel, kNot, kBinary, kTernary } kind = kConst;
+  std::vector<bool> const_bits;  // kConst, LSB first
+  std::string ident;             // kIdent / kBitSel
+  int bit = -1;                  // kBitSel
+  char op = 0;                   // kBinary: & | ^
+  std::unique_ptr<Expr> a, b, c;
+  int line = 0;
+};
+
+struct Assign {
+  std::string name;
+  int bit = -1;  // -1 = whole signal
+  std::unique_ptr<Expr> rhs;
+  int line = 0;
+};
+
+enum class SigKind { kInput, kOutput, kWire, kReg };
+
+struct Signal {
+  SigKind kind = SigKind::kWire;
+  int width = 1;
+};
+
+struct Module {
+  std::string name;
+  std::vector<std::pair<std::string, Signal>> decl_order;  // ports first
+  std::unordered_map<std::string, Signal> signals;
+  std::vector<Assign> assigns;      // continuous
+  std::vector<Assign> reg_assigns;  // nonblocking, single clock domain
+  std::string clock;
+};
+
+// --- parser ------------------------------------------------------------------
+
+class HdlParser {
+ public:
+  explicit HdlParser(const std::string& text) : lexer_(text) { advance(); }
+
+  Module parse() {
+    Module m;
+    expect_ident("module");
+    m.name = expect_name("module name");
+    expect_punct("(");
+    if (!at_punct(")")) {
+      for (;;) {
+        parse_port_decl(m);
+        if (at_punct(")")) break;
+        expect_punct(",");
+      }
+    }
+    expect_punct(")");
+    expect_punct(";");
+    while (!at_ident("endmodule")) {
+      if (cur_.kind == Token::kEnd) fail("unexpected end of file");
+      parse_item(m);
+    }
+    expect_ident("endmodule");
+    return m;
+  }
+
+ private:
+  void declare(Module& m, const std::string& name, Signal sig) {
+    if (m.signals.contains(name)) fail("duplicate signal: " + name);
+    m.signals.emplace(name, sig);
+    m.decl_order.emplace_back(name, sig);
+  }
+
+  int parse_optional_range() {
+    if (!at_punct("[")) return 1;
+    advance();
+    const int msb = expect_int("range msb");
+    expect_punct(":");
+    const int lsb = expect_int("range lsb");
+    expect_punct("]");
+    if (lsb != 0 || msb < 0) fail("only [N:0] ranges are supported");
+    return msb + 1;
+  }
+
+  void parse_port_decl(Module& m) {
+    const std::string dir = expect_name("port direction");
+    if (dir != "input" && dir != "output") {
+      fail("expected input/output, got '" + dir + "'");
+    }
+    Signal sig;
+    sig.kind = dir == "input" ? SigKind::kInput : SigKind::kOutput;
+    sig.width = parse_optional_range();
+    const std::string name = expect_name("port name");
+    declare(m, name, sig);
+  }
+
+  void parse_item(Module& m) {
+    const std::string head = expect_name("item");
+    if (head == "wire" || head == "reg") {
+      Signal sig;
+      sig.kind = head == "wire" ? SigKind::kWire : SigKind::kReg;
+      sig.width = parse_optional_range();
+      for (;;) {
+        declare(m, expect_name("signal name"), sig);
+        if (at_punct(";")) break;
+        expect_punct(",");
+      }
+      expect_punct(";");
+    } else if (head == "assign") {
+      Assign a = parse_assign_target();
+      expect_punct("=");
+      a.rhs = parse_expr();
+      expect_punct(";");
+      m.assigns.push_back(std::move(a));
+    } else if (head == "always") {
+      parse_always(m);
+    } else {
+      fail("unsupported construct: '" + head + "'");
+    }
+  }
+
+  Assign parse_assign_target() {
+    Assign a;
+    a.line = cur_.line;
+    a.name = expect_name("assignment target");
+    if (at_punct("[")) {
+      advance();
+      a.bit = expect_int("bit index");
+      expect_punct("]");
+    }
+    return a;
+  }
+
+  void parse_always(Module& m) {
+    expect_punct("@");
+    expect_punct("(");
+    expect_ident("posedge");
+    const std::string clk = expect_name("clock name");
+    if (m.clock.empty()) {
+      m.clock = clk;
+    } else if (m.clock != clk) {
+      fail("multiple clock domains are not supported");
+    }
+    expect_punct(")");
+    const bool block = at_ident("begin");
+    if (block) advance();
+    do {
+      Assign a = parse_assign_target();
+      expect_punct("<=");
+      a.rhs = parse_expr();
+      expect_punct(";");
+      m.reg_assigns.push_back(std::move(a));
+    } while (block && !at_ident("end"));
+    if (block) expect_ident("end");
+  }
+
+  // Precedence (lowest first): ?: , | , ^ , & , ~/primary.
+  std::unique_ptr<Expr> parse_expr() {
+    auto cond = parse_or();
+    if (at_punct("?")) {
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::kTernary;
+      e->line = cur_.line;
+      e->a = std::move(cond);
+      e->b = parse_expr();
+      expect_punct(":");
+      e->c = parse_expr();
+      return e;
+    }
+    return cond;
+  }
+
+  std::unique_ptr<Expr> parse_or() {
+    auto lhs = parse_xor();
+    while (at_punct("|")) {
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::kBinary;
+      e->op = '|';
+      e->line = cur_.line;
+      e->a = std::move(lhs);
+      e->b = parse_xor();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_xor() {
+    auto lhs = parse_and();
+    while (at_punct("^")) {
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::kBinary;
+      e->op = '^';
+      e->line = cur_.line;
+      e->a = std::move(lhs);
+      e->b = parse_and();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_and() {
+    auto lhs = parse_unary();
+    while (at_punct("&")) {
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::kBinary;
+      e->op = '&';
+      e->line = cur_.line;
+      e->a = std::move(lhs);
+      e->b = parse_unary();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_unary() {
+    if (at_punct("~")) {
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::kNot;
+      e->line = cur_.line;
+      e->a = parse_unary();
+      return e;
+    }
+    if (at_punct("(")) {
+      advance();
+      auto e = parse_expr();
+      expect_punct(")");
+      return e;
+    }
+    if (cur_.kind == Token::kLiteral) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::kConst;
+      e->line = cur_.line;
+      e->const_bits = parse_literal(cur_.text);
+      advance();
+      return e;
+    }
+    if (cur_.kind == Token::kIdent) {
+      auto e = std::make_unique<Expr>();
+      e->line = cur_.line;
+      e->ident = cur_.text;
+      advance();
+      if (at_punct("[")) {
+        advance();
+        e->kind = Expr::kBitSel;
+        e->bit = expect_int("bit index");
+        expect_punct("]");
+      } else {
+        e->kind = Expr::kIdent;
+      }
+      return e;
+    }
+    fail("expected expression, got '" + cur_.text + "'");
+  }
+
+  std::vector<bool> parse_literal(const std::string& text) {
+    const std::size_t q = text.find('\'');
+    SECFLOW_CHECK(q != std::string::npos, "literal without '");
+    const int width = std::stoi(text.substr(0, q));
+    if (width < 1 || width > 64) fail("literal width out of range");
+    const char base = text[q + 1];
+    const std::string digits = text.substr(q + 2);
+    std::uint64_t value = 0;
+    if (base == 'b' || base == 'B') {
+      for (char c : digits) {
+        if (c == '_') continue;
+        if (c != '0' && c != '1') fail("bad binary literal: " + text);
+        value = (value << 1) | static_cast<std::uint64_t>(c - '0');
+      }
+    } else if (base == 'd' || base == 'D') {
+      for (char c : digits) {
+        if (c == '_') continue;
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          fail("bad decimal literal: " + text);
+        }
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+    } else if (base == 'h' || base == 'H') {
+      for (char c : digits) {
+        if (c == '_') continue;
+        if (!std::isxdigit(static_cast<unsigned char>(c))) {
+          fail("bad hex literal: " + text);
+        }
+        const int d = std::isdigit(static_cast<unsigned char>(c))
+                          ? c - '0'
+                          : std::tolower(c) - 'a' + 10;
+        value = (value << 4) | static_cast<std::uint64_t>(d);
+      }
+    } else {
+      fail("unsupported literal base in " + text);
+    }
+    std::vector<bool> bits(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) bits[static_cast<std::size_t>(i)] = (value >> i) & 1;
+    return bits;
+  }
+
+  void advance() { cur_ = lexer_.next(); }
+  [[noreturn]] void fail(const std::string& msg) {
+    throw ParseError("hdl line " + std::to_string(cur_.line), msg);
+  }
+  bool at_punct(const std::string& p) const {
+    return cur_.kind == Token::kPunct && cur_.text == p;
+  }
+  bool at_ident(const std::string& s) const {
+    return cur_.kind == Token::kIdent && cur_.text == s;
+  }
+  void expect_punct(const std::string& p) {
+    if (!at_punct(p)) fail("expected '" + p + "', got '" + cur_.text + "'");
+    advance();
+  }
+  void expect_ident(const std::string& s) {
+    if (!at_ident(s)) fail("expected '" + s + "', got '" + cur_.text + "'");
+    advance();
+  }
+  std::string expect_name(const std::string& what) {
+    if (cur_.kind != Token::kIdent) {
+      fail("expected " + what + ", got '" + cur_.text + "'");
+    }
+    std::string s = cur_.text;
+    advance();
+    return s;
+  }
+  int expect_int(const std::string& what) {
+    if (cur_.kind != Token::kNumber) {
+      fail("expected " + what + ", got '" + cur_.text + "'");
+    }
+    const int v = std::stoi(cur_.text);
+    advance();
+    return v;
+  }
+
+  Lexer lexer_;
+  Token cur_;
+};
+
+// --- elaboration -------------------------------------------------------------
+
+class Elaborator {
+ public:
+  explicit Elaborator(Module m) : m_(std::move(m)) {}
+
+  AigCircuit elaborate() {
+    AigCircuit c;
+    c.name = m_.name;
+    c.clock = m_.clock.empty() ? "clk" : m_.clock;
+
+    validate_clock();
+    index_assigns();
+
+    // Create AIG inputs for input ports (clock excluded) and register Qs.
+    for (const auto& [name, sig] : m_.decl_order) {
+      if (sig.kind == SigKind::kInput && name != m_.clock) {
+        auto& bits = values_[name];
+        bits.resize(static_cast<std::size_t>(sig.width));
+        for (int i = 0; i < sig.width; ++i) {
+          const std::string bn = circuit_bit_name(name, i, sig.width);
+          bits[static_cast<std::size_t>(i)] = c.aig.new_input(bn);
+          c.inputs.push_back(CircuitBit{bn, bits[static_cast<std::size_t>(i)]});
+        }
+        resolved_.insert(name);
+      } else if (sig.kind == SigKind::kReg) {
+        auto& bits = values_[name];
+        bits.resize(static_cast<std::size_t>(sig.width));
+        for (int i = 0; i < sig.width; ++i) {
+          const std::string bn = circuit_bit_name(name, i, sig.width);
+          bits[static_cast<std::size_t>(i)] = c.aig.new_input("reg:" + bn);
+          c.regs.push_back(CircuitReg{bn, bits[static_cast<std::size_t>(i)], 0});
+        }
+        resolved_.insert(name);
+      }
+    }
+    aig_ = &c.aig;
+
+    // Register next-states.
+    std::size_t reg_base = 0;
+    for (const auto& [name, sig] : m_.decl_order) {
+      if (sig.kind != SigKind::kReg) continue;
+      for (int i = 0; i < sig.width; ++i) {
+        const std::string bn = circuit_bit_name(name, i, sig.width);
+        CircuitReg* reg = nullptr;
+        for (std::size_t r = reg_base; r < c.regs.size(); ++r) {
+          if (c.regs[r].name == bn) {
+            reg = &c.regs[r];
+            break;
+          }
+        }
+        SECFLOW_CHECK(reg != nullptr, "internal: reg bit lost");
+        reg->next = reg_next_bit(name, i, sig.width);
+      }
+    }
+
+    // Output ports.
+    for (const auto& [name, sig] : m_.decl_order) {
+      if (sig.kind != SigKind::kOutput) continue;
+      const std::vector<AigLit> bits = signal_value(name);
+      for (int i = 0; i < sig.width; ++i) {
+        c.outputs.push_back(
+            CircuitBit{circuit_bit_name(name, i, sig.width),
+                       bits[static_cast<std::size_t>(i)]});
+      }
+    }
+    return c;
+  }
+
+ private:
+  void validate_clock() {
+    if (m_.clock.empty()) return;
+    const auto it = m_.signals.find(m_.clock);
+    if (it == m_.signals.end() || it->second.kind != SigKind::kInput ||
+        it->second.width != 1) {
+      throw ParseError("hdl", "clock " + m_.clock +
+                                  " must be a scalar input port");
+    }
+  }
+
+  void index_assigns() {
+    for (const Assign& a : m_.assigns) {
+      const Signal& sig = signal(a.name, a.line);
+      if (sig.kind == SigKind::kInput) {
+        throw ParseError(loc(a.line), "cannot assign input " + a.name);
+      }
+      if (sig.kind == SigKind::kReg) {
+        throw ParseError(loc(a.line),
+                         "reg " + a.name + " must be assigned with <=");
+      }
+      register_target(comb_assign_, a, sig);
+    }
+    for (const Assign& a : m_.reg_assigns) {
+      const Signal& sig = signal(a.name, a.line);
+      if (sig.kind != SigKind::kReg) {
+        throw ParseError(loc(a.line),
+                         "<= target " + a.name + " must be a reg");
+      }
+      register_target(reg_assign_, a, sig);
+    }
+  }
+
+  void register_target(std::map<std::pair<std::string, int>, const Assign*>& dst,
+                       const Assign& a, const Signal& sig) {
+    if (a.bit >= sig.width) {
+      throw ParseError(loc(a.line), "bit index out of range: " + a.name);
+    }
+    const auto key = std::make_pair(a.name, a.bit);
+    if (dst.contains(key) ||
+        (a.bit == -1 && has_any_bit(dst, a.name)) ||
+        (a.bit >= 0 && dst.contains(std::make_pair(a.name, -1)))) {
+      throw ParseError(loc(a.line), "multiple drivers for " + a.name);
+    }
+    dst.emplace(key, &a);
+  }
+
+  static bool has_any_bit(
+      const std::map<std::pair<std::string, int>, const Assign*>& dst,
+      const std::string& name) {
+    const auto it = dst.lower_bound(std::make_pair(name, -1));
+    return it != dst.end() && it->first.first == name;
+  }
+
+  const Signal& signal(const std::string& name, int line) {
+    const auto it = m_.signals.find(name);
+    if (it == m_.signals.end()) {
+      throw ParseError(loc(line), "undefined signal: " + name);
+    }
+    return it->second;
+  }
+
+  AigLit reg_next_bit(const std::string& name, int bit, int width) {
+    const auto whole = reg_assign_.find(std::make_pair(name, -1));
+    if (whole != reg_assign_.end()) {
+      const std::vector<AigLit> rhs = eval(*whole->second->rhs);
+      if (static_cast<int>(rhs.size()) != width) {
+        throw ParseError(loc(whole->second->line),
+                         "width mismatch assigning " + name);
+      }
+      return rhs[static_cast<std::size_t>(bit)];
+    }
+    const auto one = reg_assign_.find(std::make_pair(name, bit));
+    if (one == reg_assign_.end()) {
+      throw ParseError("hdl", "reg bit never assigned: " + name + "[" +
+                                  std::to_string(bit) + "]");
+    }
+    const std::vector<AigLit> rhs = eval(*one->second->rhs);
+    if (rhs.size() != 1) {
+      throw ParseError(loc(one->second->line),
+                       "bit assignment needs 1-bit rhs: " + name);
+    }
+    return rhs[0];
+  }
+
+  /// Value of a whole signal, computing wire assignments on demand.
+  std::vector<AigLit> signal_value(const std::string& name) {
+    const auto it = values_.find(name);
+    if (it != values_.end() && resolved_.contains(name)) return it->second;
+    if (in_flight_.contains(name)) {
+      throw ParseError("hdl", "combinational loop through " + name);
+    }
+    const Signal& sig = signal(name, 0);
+    in_flight_.insert(name);
+    std::vector<AigLit> bits(static_cast<std::size_t>(sig.width));
+    const auto whole = comb_assign_.find(std::make_pair(name, -1));
+    if (whole != comb_assign_.end()) {
+      const std::vector<AigLit> rhs = eval(*whole->second->rhs);
+      if (static_cast<int>(rhs.size()) != sig.width) {
+        throw ParseError(loc(whole->second->line),
+                         "width mismatch assigning " + name);
+      }
+      bits = rhs;
+    } else {
+      for (int i = 0; i < sig.width; ++i) {
+        const auto one = comb_assign_.find(std::make_pair(name, i));
+        if (one == comb_assign_.end()) {
+          throw ParseError("hdl", "signal never assigned: " + name +
+                                      (sig.width > 1 ? "[" + std::to_string(i) + "]"
+                                                     : ""));
+        }
+        const std::vector<AigLit> rhs = eval(*one->second->rhs);
+        if (rhs.size() != 1) {
+          throw ParseError(loc(one->second->line),
+                           "bit assignment needs 1-bit rhs: " + name);
+        }
+        bits[static_cast<std::size_t>(i)] = rhs[0];
+      }
+    }
+    in_flight_.erase(name);
+    values_[name] = bits;
+    resolved_.insert(name);
+    return bits;
+  }
+
+  std::vector<AigLit> eval(const Expr& e) {
+    switch (e.kind) {
+      case Expr::kConst: {
+        std::vector<AigLit> bits;
+        bits.reserve(e.const_bits.size());
+        for (bool b : e.const_bits) bits.push_back(b ? kAigTrue : kAigFalse);
+        return bits;
+      }
+      case Expr::kIdent: {
+        if (e.ident == m_.clock) {
+          throw ParseError(loc(e.line), "clock used in expression");
+        }
+        return signal_value(e.ident);
+      }
+      case Expr::kBitSel: {
+        const std::vector<AigLit> v = signal_value(e.ident);
+        if (e.bit < 0 || e.bit >= static_cast<int>(v.size())) {
+          throw ParseError(loc(e.line), "bit index out of range: " + e.ident);
+        }
+        return {v[static_cast<std::size_t>(e.bit)]};
+      }
+      case Expr::kNot: {
+        std::vector<AigLit> v = eval(*e.a);
+        for (AigLit& l : v) l = aig_not(l);
+        return v;
+      }
+      case Expr::kBinary: {
+        const std::vector<AigLit> a = eval(*e.a);
+        const std::vector<AigLit> b = eval(*e.b);
+        if (a.size() != b.size()) {
+          throw ParseError(loc(e.line), "operand width mismatch");
+        }
+        std::vector<AigLit> out(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          switch (e.op) {
+            case '&': out[i] = aig_->land(a[i], b[i]); break;
+            case '|': out[i] = aig_->lor(a[i], b[i]); break;
+            case '^': out[i] = aig_->lxor(a[i], b[i]); break;
+            default: throw ParseError(loc(e.line), "bad operator");
+          }
+        }
+        return out;
+      }
+      case Expr::kTernary: {
+        const std::vector<AigLit> cond = eval(*e.a);
+        if (cond.size() != 1) {
+          throw ParseError(loc(e.line), "ternary condition must be 1 bit");
+        }
+        const std::vector<AigLit> t = eval(*e.b);
+        const std::vector<AigLit> f = eval(*e.c);
+        if (t.size() != f.size()) {
+          throw ParseError(loc(e.line), "ternary arm width mismatch");
+        }
+        std::vector<AigLit> out(t.size());
+        for (std::size_t i = 0; i < t.size(); ++i) {
+          out[i] = aig_->lmux(cond[0], t[i], f[i]);
+        }
+        return out;
+      }
+    }
+    throw ParseError(loc(e.line), "bad expression");
+  }
+
+  static std::string loc(int line) {
+    return "hdl line " + std::to_string(line);
+  }
+
+  Module m_;
+  Aig* aig_ = nullptr;
+  std::unordered_map<std::string, std::vector<AigLit>> values_;
+  std::set<std::string> resolved_;
+  std::set<std::string> in_flight_;
+  std::map<std::pair<std::string, int>, const Assign*> comb_assign_;
+  std::map<std::pair<std::string, int>, const Assign*> reg_assign_;
+};
+
+}  // namespace
+
+AigCircuit parse_hdl(const std::string& source) {
+  Module m = HdlParser(source).parse();
+  return Elaborator(std::move(m)).elaborate();
+}
+
+AigCircuit parse_hdl_file(const std::string& path) {
+  std::ifstream f(path);
+  SECFLOW_CHECK(f.good(), "cannot open: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_hdl(ss.str());
+}
+
+}  // namespace secflow

@@ -1,0 +1,39 @@
+// Mini-HDL front-end: a small synthesizable Verilog subset.
+//
+// Supported constructs:
+//
+//   module NAME (input clk, input [3:0] a, output [3:0] y, ...);
+//     wire [3:0] w;           // and scalar: wire s;
+//     reg  [3:0] r;
+//     assign w = a ^ 4'b0110;
+//     assign y = r;
+//     assign w[2] = a[0] & s; // bit-granular assignment
+//     always @(posedge clk) begin
+//       r <= w & a;
+//     end
+//   endmodule
+//
+// Expressions: & | ^ ~, parentheses, ternary c ? t : f, identifiers,
+// bit-select x[i], sized binary/decimal literals (4'b0101, 6'd46).
+// Vector operators require equal operand widths; a ternary condition must
+// be 1 bit wide.  Exactly one clock domain (posedge) is supported.
+//
+// The parser elaborates directly to an AigCircuit (bit-blasted), ready for
+// technology mapping.
+#pragma once
+
+#include <string>
+
+#include "synth/circuit.h"
+
+namespace secflow {
+
+/// Parse and elaborate mini-HDL source.  Throws ParseError on syntax or
+/// elaboration errors (width mismatch, undefined signal, combinational
+/// loop, multiple drivers).
+AigCircuit parse_hdl(const std::string& source);
+
+/// Parse a file.
+AigCircuit parse_hdl_file(const std::string& path);
+
+}  // namespace secflow

@@ -1,0 +1,43 @@
+// Technology mapping: AigCircuit -> standard-cell Netlist.
+//
+// Cut-based structural mapping with exact boolean matching:
+//  * enumerate K-feasible cuts per AIG node (K = max library arity),
+//  * compute each cut's truth table,
+//  * match against library cells under all input permutations and input
+//    phase assignments (precomputed match tables),
+//  * area-oriented dynamic programming over both output phases, with
+//    inverters bridging phases,
+//  * cover extraction instantiates the chosen cells, DFFs for registers,
+//    INV/BUF/TIE cells at the boundaries.
+//
+// The constraints object mirrors the paper's synthesis `script`: it
+// restricts the gates available to the mapper (for the secure flow, the
+// cells that have WDDL counterparts).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "synth/circuit.h"
+
+namespace secflow {
+
+struct SynthConstraints {
+  /// Cell names the mapper may use; empty means the whole library.
+  /// INV/BUF/DFF/TIE0/TIE1 are always available (flow infrastructure).
+  std::vector<std::string> allowed_cells;
+  /// Maximum cut width (clamped to LogicFn::kMaxInputs).
+  int max_cut_size = 5;
+  /// Cuts retained per node (smallest first).
+  int max_cuts_per_node = 12;
+};
+
+/// Map `circuit` onto `library` cells.  Throws Error if some node cannot be
+/// realized with the allowed cells.
+Netlist technology_map(const AigCircuit& circuit,
+                       std::shared_ptr<const CellLibrary> library,
+                       const SynthConstraints& constraints = {});
+
+}  // namespace secflow

@@ -1,0 +1,53 @@
+// Cell substitution (paper section 2.3): single-ended gate-level netlist ->
+// fat netlist + differential netlist.
+//
+// The fat netlist replaces every gate by its WDDL compound (one fat cell
+// per compound) and removes inverters/buffers: an inverter is implemented
+// by swapping the differential rails, which in the fat abstraction becomes
+// an input-phase variant of the sink compound.  Inversions that reach an
+// output port are realized as rail-swapped buffer compounds so the fat
+// netlist stays logically equivalent to the original (checked by the LEC).
+//
+// The differential netlist expands each fat instance into the base-library
+// primitives of its compound, with every fat net split into a _t/_f rail
+// pair.  It is used for verification and for the power simulation.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "netlist/netlist.h"
+#include "wddl/wddl_library.h"
+
+namespace secflow {
+
+struct SubstitutionStats {
+  int inverters_removed = 0;
+  int buffers_removed = 0;
+  int gates_substituted = 0;
+  int flops_substituted = 0;
+  int ties_substituted = 0;
+  int port_buffers_added = 0;
+};
+
+struct SubstitutionResult {
+  Netlist fat;
+  SubstitutionStats stats;
+};
+
+/// Transform `rtl` (over the WDDL base library) into the fat netlist.
+/// The clock net (the one driving flop CK pins) stays single-ended.
+/// Throws Error if the netlist mixes clock and data on one net.
+SubstitutionResult substitute_cells(const Netlist& rtl, WddlLibrary& wlib);
+
+/// Expand a fat netlist into the differential netlist over the base
+/// library.  Every data net n becomes rails n_t / n_f; data ports double;
+/// the clock port stays single and also feeds the compounds' precharge
+/// gating.  Combinational-only designs get a clock port added when any
+/// compound (register or tie) needs the evaluate window.
+Netlist expand_differential(const Netlist& fat, const WddlLibrary& wlib);
+
+/// True-rail / false-rail net names for fat net `name`.
+std::string rail_name(const std::string& net, bool false_rail);
+
+}  // namespace secflow

@@ -1,0 +1,131 @@
+#include "wddl/qm.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/error.h"
+
+namespace secflow {
+namespace {
+
+/// Cube ordering for deterministic sets.
+struct CubeLess {
+  bool operator()(const Cube& a, const Cube& b) const {
+    return a.mask != b.mask ? a.mask < b.mask : a.value < b.value;
+  }
+};
+
+}  // namespace
+
+bool eval_sop(const std::vector<Cube>& sop, unsigned assignment) {
+  for (const Cube& c : sop) {
+    if (c.covers(assignment)) return true;
+  }
+  return false;
+}
+
+int sop_literals(const std::vector<Cube>& sop) {
+  int n = 0;
+  for (const Cube& c : sop) n += c.n_literals();
+  return n;
+}
+
+std::vector<Cube> minimize_sop(const LogicFn& f) {
+  const int n = f.n_inputs();
+  const unsigned rows = 1u << n;
+  const unsigned full_mask = rows - 1;
+
+  std::vector<unsigned> minterms;
+  for (unsigned r = 0; r < rows; ++r) {
+    if (f.eval(r)) minterms.push_back(r);
+  }
+  if (minterms.empty()) return {};
+  if (minterms.size() == rows) return {Cube{0, 0}};
+
+  // Prime implicant generation: repeatedly merge cubes differing in one
+  // cared literal.
+  std::set<Cube, CubeLess> current;
+  for (unsigned m : minterms) current.insert(Cube{full_mask, m});
+  std::set<Cube, CubeLess> primes;
+  while (!current.empty()) {
+    std::set<Cube, CubeLess> next;
+    std::set<Cube, CubeLess> merged;
+    std::vector<Cube> cur(current.begin(), current.end());
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      for (std::size_t j = i + 1; j < cur.size(); ++j) {
+        if (cur[i].mask != cur[j].mask) continue;
+        const unsigned diff = (cur[i].value ^ cur[j].value) & cur[i].mask;
+        if (__builtin_popcount(diff) != 1) continue;
+        next.insert(Cube{cur[i].mask & ~diff, cur[i].value & ~diff});
+        merged.insert(cur[i]);
+        merged.insert(cur[j]);
+      }
+    }
+    for (const Cube& c : cur) {
+      if (!merged.contains(c)) primes.insert(c);
+    }
+    current = std::move(next);
+  }
+
+  // Greedy cover (essential primes first, then max coverage).
+  std::vector<Cube> prime_list(primes.begin(), primes.end());
+  std::vector<std::vector<std::size_t>> covers(minterms.size());
+  for (std::size_t mi = 0; mi < minterms.size(); ++mi) {
+    for (std::size_t pi = 0; pi < prime_list.size(); ++pi) {
+      if (prime_list[pi].covers(minterms[mi])) covers[mi].push_back(pi);
+    }
+    SECFLOW_CHECK(!covers[mi].empty(), "QM internal: uncovered minterm");
+  }
+  std::vector<bool> chosen(prime_list.size(), false);
+  std::vector<bool> done(minterms.size(), false);
+  // Essential primes.
+  for (std::size_t mi = 0; mi < minterms.size(); ++mi) {
+    if (covers[mi].size() == 1) chosen[covers[mi][0]] = true;
+  }
+  auto mark_done = [&] {
+    for (std::size_t mi = 0; mi < minterms.size(); ++mi) {
+      if (done[mi]) continue;
+      for (std::size_t pi : covers[mi]) {
+        if (chosen[pi]) {
+          done[mi] = true;
+          break;
+        }
+      }
+    }
+  };
+  mark_done();
+  // Greedy: repeatedly take the prime covering the most remaining
+  // minterms (ties broken by fewer literals, then cube order).
+  for (;;) {
+    std::size_t best = prime_list.size();
+    int best_gain = 0;
+    for (std::size_t pi = 0; pi < prime_list.size(); ++pi) {
+      if (chosen[pi]) continue;
+      int gain = 0;
+      for (std::size_t mi = 0; mi < minterms.size(); ++mi) {
+        if (!done[mi] && prime_list[pi].covers(minterms[mi])) ++gain;
+      }
+      if (gain > best_gain ||
+          (gain == best_gain && gain > 0 && best < prime_list.size() &&
+           prime_list[pi].n_literals() < prime_list[best].n_literals())) {
+        best = pi;
+        best_gain = gain;
+      }
+    }
+    if (best_gain == 0) break;
+    chosen[best] = true;
+    mark_done();
+  }
+
+  std::vector<Cube> out;
+  for (std::size_t pi = 0; pi < prime_list.size(); ++pi) {
+    if (chosen[pi]) out.push_back(prime_list[pi]);
+  }
+  // Self-check: the cover must equal f exactly.
+  for (unsigned r = 0; r < rows; ++r) {
+    SECFLOW_CHECK(eval_sop(out, r) == f.eval(r), "QM produced a wrong cover");
+  }
+  return out;
+}
+
+}  // namespace secflow

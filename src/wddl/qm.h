@@ -1,0 +1,44 @@
+// Two-level logic minimization (Quine-McCluskey) for WDDL compound-cell
+// construction.
+//
+// A WDDL compound realizes a function f as a positive network over the
+// input rails: each cube of a sum-of-products of f becomes an AND of rails
+// (x_t for positive literals, x_f for negative ones) and the cubes are
+// OR-ed.  Minimizing the SOP first keeps the compound close to the
+// hand-crafted WDDL cells of the paper (e.g. WDDL NAND2 = OR2 + AND2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/logic_fn.h"
+
+namespace secflow {
+
+/// A product term: for input i, (mask >> i) & 1 says the literal appears;
+/// (value >> i) & 1 gives its polarity (1 = positive literal).
+struct Cube {
+  unsigned mask = 0;
+  unsigned value = 0;
+
+  friend bool operator==(const Cube&, const Cube&) = default;
+
+  int n_literals() const { return __builtin_popcount(mask); }
+  /// True when `assignment` (bit i = input i) is covered by this cube.
+  bool covers(unsigned assignment) const {
+    return (assignment & mask) == (value & mask);
+  }
+};
+
+/// Minimal (prime-implicant, greedy-cover) sum-of-products for `f`.
+/// Returns an empty vector for f == 0; a single empty cube (mask == 0)
+/// for f == 1.  Deterministic.
+std::vector<Cube> minimize_sop(const LogicFn& f);
+
+/// Evaluate a SOP (used by tests and the compound generator's self-check).
+bool eval_sop(const std::vector<Cube>& sop, unsigned assignment);
+
+/// Total literal count of a SOP.
+int sop_literals(const std::vector<Cube>& sop);
+
+}  // namespace secflow

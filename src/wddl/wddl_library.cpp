@@ -1,0 +1,227 @@
+#include "wddl/wddl_library.h"
+
+#include <algorithm>
+
+#include "base/error.h"
+#include "base/strings.h"
+
+namespace secflow {
+namespace {
+
+std::uint64_t function_key(WddlKind kind, const LogicFn& fn) {
+  return (static_cast<std::uint64_t>(kind) << 62) |
+         (static_cast<std::uint64_t>(fn.n_inputs()) << 58) | fn.table();
+}
+
+}  // namespace
+
+std::vector<int> plan_reduction_tree(int n) {
+  std::vector<int> arities;
+  while (n > 1) {
+    // Prefer 3-input gates; avoid leaving a single leftover operand.
+    int take;
+    if (n == 2) {
+      take = 2;
+    } else if (n == 4) {
+      take = 2;  // 2+2 beats 3+1
+    } else {
+      take = 3;
+    }
+    arities.push_back(take);
+    n = n - take + 1;
+  }
+  return arities;
+}
+
+WddlLibrary::WddlLibrary(std::shared_ptr<const CellLibrary> base)
+    : base_(std::move(base)),
+      fat_(std::make_shared<CellLibrary>("wddl_fat")) {
+  SECFLOW_CHECK(base_ != nullptr, "WddlLibrary needs a base library");
+  // The realization depends on these primitives being available.
+  for (const char* name : {"AND2", "AND3", "OR2", "OR3", "BUF", "DFF", "DFFN",
+                           "TIE0", "TIE1"}) {
+    SECFLOW_CHECK(base_->contains(name),
+                  std::string("base library lacks ") + name);
+  }
+}
+
+const WddlCompound& WddlLibrary::compound_for_cell(const CellType& cell,
+                                                   unsigned phase_mask) {
+  SECFLOW_CHECK(cell.kind == CellKind::kCombinational,
+                "compound_for_cell expects a combinational cell");
+  LogicFn fn = cell.function;
+  for (int i = 0; i < fn.n_inputs(); ++i) {
+    if ((phase_mask >> i) & 1u) fn = fn.with_input_inverted(i);
+  }
+  std::string name = "WDDL_" + cell.name;
+  if (phase_mask != 0) name += "_N" + strfmt("%X", phase_mask);
+  return get_or_create(WddlKind::kComb, fn, name);
+}
+
+const WddlCompound& WddlLibrary::comb_compound(const LogicFn& fn) {
+  return get_or_create(WddlKind::kComb, fn,
+                       strfmt("WDDL_F%d_%llX", fn.n_inputs(),
+                              static_cast<unsigned long long>(fn.table())));
+}
+
+const WddlCompound& WddlLibrary::flop_compound(bool inverted_d) {
+  return get_or_create(WddlKind::kFlop,
+                       inverted_d ? LogicFn::inverter() : LogicFn::identity(),
+                       inverted_d ? "WDDL_DFF_N" : "WDDL_DFF");
+}
+
+const WddlCompound& WddlLibrary::tie_compound(bool one) {
+  return get_or_create(WddlKind::kTie, LogicFn::constant(one),
+                       one ? "WDDL_TIE1" : "WDDL_TIE0");
+}
+
+const WddlCompound& WddlLibrary::get_or_create(
+    WddlKind kind, const LogicFn& fn, const std::string& preferred_name) {
+  const std::uint64_t key = function_key(kind, fn);
+  if (const auto it = by_function_.find(key); it != by_function_.end()) {
+    return compounds_[it->second];
+  }
+  if (kind == WddlKind::kComb) {
+    SECFLOW_CHECK(fn.n_inputs() >= 1, "constant compounds are ties");
+    SECFLOW_CHECK(fn.onset_size() != 0 &&
+                      fn.onset_size() != (1 << fn.n_inputs()),
+                  "constant function passed as comb compound");
+  }
+  WddlCompound c;
+  c.name = preferred_name;
+  c.kind = kind;
+  c.function = fn;
+  switch (kind) {
+    case WddlKind::kComb: realize_comb(c); break;
+    case WddlKind::kFlop: realize_flop(c); break;
+    case WddlKind::kTie: realize_tie(c); break;
+  }
+  c.fat_cell = fat_->add(make_fat_cell(c));
+  compounds_.push_back(std::move(c));
+  const std::size_t idx = compounds_.size() - 1;
+  by_function_.emplace(key, idx);
+  by_fat_cell_.emplace(compounds_[idx].fat_cell.value(), idx);
+  return compounds_[idx];
+}
+
+void WddlLibrary::realize_comb(WddlCompound& c) const {
+  c.true_sop = minimize_sop(c.function);
+  c.false_sop = minimize_sop(c.function.complemented());
+  cost_sop(c.true_sop, c.primitives);
+  cost_sop(c.false_sop, c.primitives);
+  c.area_um2 = 0.0;
+  for (const auto& [cell, count] : c.primitives) {
+    c.area_um2 += base_->cell(cell).area_um2 * count;
+  }
+}
+
+void WddlLibrary::cost_sop(const std::vector<Cube>& sop,
+                           std::unordered_map<std::string, int>& hist) const {
+  SECFLOW_CHECK(!sop.empty() && sop.front().mask != 0,
+                "constant SOP in comb compound");
+  int or_operands = 0;
+  for (const Cube& cube : sop) {
+    const int k = cube.n_literals();
+    for (int arity : plan_reduction_tree(k)) {
+      ++hist[arity == 3 ? "AND3" : "AND2"];
+    }
+    ++or_operands;
+  }
+  if (or_operands == 1) {
+    // Single cube: if it is a bare literal the half is just a buffer.
+    if (sop.front().n_literals() == 1) ++hist["BUF"];
+    return;
+  }
+  for (int arity : plan_reduction_tree(or_operands)) {
+    ++hist[arity == 3 ? "OR3" : "OR2"];
+  }
+}
+
+void WddlLibrary::realize_flop(WddlCompound& c) const {
+  // Per rail: negedge master + posedge slave + clock-gating AND2.
+  c.primitives = {{"DFFN", 2}, {"DFF", 2}, {"AND2", 2}};
+  c.area_um2 = 2 * base_->cell("DFFN").area_um2 +
+               2 * base_->cell("DFF").area_um2 +
+               2 * base_->cell("AND2").area_um2;
+}
+
+void WddlLibrary::realize_tie(WddlCompound& c) const {
+  // Active rail follows the evaluate window (a buffered clock) so the
+  // precharge wave still propagates; the other rail is a constant 0.
+  c.primitives = {{"BUF", 1}, {"TIE0", 1}};
+  c.area_um2 = base_->cell("BUF").area_um2 + base_->cell("TIE0").area_um2;
+}
+
+CellType WddlLibrary::make_fat_cell(const WddlCompound& c) const {
+  CellType cell;
+  cell.name = c.name;
+  cell.function = c.function;
+  cell.area_um2 = c.area_um2;
+  cell.height_um = base_->cell("AND2").height_um;
+  cell.width_um = cell.area_um2 / cell.height_um;
+  cell.internal_cap_ff = 2.0;
+  cell.intrinsic_delay_ps = 60.0;
+  cell.drive_res_kohm = 3.8;
+  switch (c.kind) {
+    case WddlKind::kComb: {
+      cell.kind = CellKind::kCombinational;
+      for (int i = 0; i < c.function.n_inputs(); ++i) {
+        // Fat pin cap: both rails' worth of sink gate input capacitance.
+        cell.pins.push_back(PinDef{"A" + std::to_string(i), PinDir::kInput,
+                                   2 * base_->cell("AND2").pins[0].cap_ff});
+      }
+      cell.pins.push_back(PinDef{"Y", PinDir::kOutput, 0.0});
+      break;
+    }
+    case WddlKind::kFlop: {
+      cell.kind = CellKind::kFlop;
+      cell.intrinsic_delay_ps = base_->cell("DFF").intrinsic_delay_ps;
+      cell.pins.push_back(PinDef{"D", PinDir::kInput,
+                                 2 * base_->cell("DFFN").pins[0].cap_ff});
+      cell.pins.push_back(PinDef{"CK", PinDir::kInput,
+                                 2 * base_->cell("DFFN").pins[1].cap_ff +
+                                     2 * base_->cell("DFF").pins[1].cap_ff +
+                                     2 * base_->cell("AND2").pins[0].cap_ff});
+      cell.pins.push_back(PinDef{"Q", PinDir::kOutput, 0.0});
+      break;
+    }
+    case WddlKind::kTie: {
+      cell.kind = CellKind::kTie;
+      cell.pins.push_back(PinDef{"Y", PinDir::kOutput, 0.0});
+      break;
+    }
+  }
+  return cell;
+}
+
+int WddlLibrary::generate_full_inventory() {
+  for (CellTypeId id : base_->all()) {
+    const CellType& cell = base_->cell(id);
+    if (cell.kind != CellKind::kCombinational) continue;
+    if (cell.name == "INV") continue;  // inverters become rail swaps
+    const int n = cell.n_inputs();
+    for (unsigned mask = 0; mask < (1u << n); ++mask) {
+      compound_for_cell(cell, mask);
+    }
+  }
+  flop_compound(false);
+  flop_compound(true);
+  tie_compound(false);
+  tie_compound(true);
+  return static_cast<int>(compounds_.size());
+}
+
+std::vector<const WddlCompound*> WddlLibrary::all() const {
+  std::vector<const WddlCompound*> out;
+  out.reserve(compounds_.size());
+  for (const WddlCompound& c : compounds_) out.push_back(&c);
+  return out;
+}
+
+const WddlCompound& WddlLibrary::compound_of(CellTypeId fat_cell) const {
+  const auto it = by_fat_cell_.find(fat_cell.value());
+  SECFLOW_CHECK(it != by_fat_cell_.end(), "unknown fat cell");
+  return compounds_[it->second];
+}
+
+}  // namespace secflow

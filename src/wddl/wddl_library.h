@@ -1,0 +1,113 @@
+// WDDL compound-cell library generation (paper section 2.1).
+//
+// A WDDL compound gate realizes a single-ended cell as a pair of *positive
+// monotone* networks over the differential input rails:
+//   true  half: minimal SOP of f   (negative literals read the false rail),
+//   false half: minimal SOP of !f  (ditto),
+// built from ordinary static CMOS AND2/AND3/OR2/OR3/BUF cells of the base
+// library — exactly how the paper derives its WDDL cells from the vendor
+// 0.18 um library (Fig 2 shows the AOI32 compound).
+//
+// Because inverters are eliminated by swapping rails, each combinational
+// compound also exists in "input phase" variants (the rails of some inputs
+// arrive swapped); enumerating base cells x phase masks and deduplicating
+// by function yields the compound inventory (the paper's "128 cells").
+//
+// The compound's single-ended view is registered as a cell type in the
+// *fat library*: the netlist over fat cells is the fat netlist of Fig 1.
+//
+// WDDL registers launch the precharge wave: each rail passes through a
+// negedge master (captures at the end of the evaluate phase), a posedge
+// slave, and an output AND2 gated by the clock, so register outputs are
+// (0,0) during the precharge half-cycle and the wave of zeros sweeps the
+// combinational logic.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/cell_library.h"
+#include "wddl/qm.h"
+
+namespace secflow {
+
+enum class WddlKind { kComb, kFlop, kTie };
+
+struct WddlCompound {
+  std::string name;
+  WddlKind kind = WddlKind::kComb;
+  /// Single-ended (fat netlist) function.  For kFlop: identity (plain) or
+  /// inverter (rail-swapped D variant).  For kTie: the constant.
+  LogicFn function;
+  /// Positive SOPs realizing the two rails (kComb only).
+  std::vector<Cube> true_sop;
+  std::vector<Cube> false_sop;
+  /// Cell type of the compound in fat_library().
+  CellTypeId fat_cell;
+  /// Total area of the differential realization [um^2].
+  double area_um2 = 0.0;
+  /// Base-library primitive histogram of the realization.
+  std::unordered_map<std::string, int> primitives;
+};
+
+/// Deterministic reduction-tree plan: arities (2 or 3) of the gates needed
+/// to reduce `n` operands to one with 2/3-input gates, in evaluation order.
+/// Empty for n <= 1.
+std::vector<int> plan_reduction_tree(int n);
+
+class WddlLibrary {
+ public:
+  explicit WddlLibrary(std::shared_ptr<const CellLibrary> base);
+
+  /// Compound realizing `cell` with the given input phase mask (bit i set:
+  /// input i arrives with swapped rails).  Compounds are deduplicated by
+  /// function; the first requester names them.
+  const WddlCompound& compound_for_cell(const CellType& cell,
+                                        unsigned phase_mask);
+
+  /// Compound for an arbitrary combinational function (used for the port
+  /// buffers the substitution inserts).
+  const WddlCompound& comb_compound(const LogicFn& fn);
+  const WddlCompound& flop_compound(bool inverted_d);
+  const WddlCompound& tie_compound(bool one);
+
+  /// Pre-generate compounds for every base combinational cell x every
+  /// input phase mask, plus registers and ties.  Returns the number of
+  /// distinct compounds (the paper reports 128 for its library).
+  int generate_full_inventory();
+
+  std::size_t n_compounds() const { return compounds_.size(); }
+  std::vector<const WddlCompound*> all() const;
+
+  const std::shared_ptr<const CellLibrary>& base_library() const {
+    return base_;
+  }
+  /// The fat library: one single-ended cell per compound.  Grows as
+  /// compounds are created; ids stay stable.
+  std::shared_ptr<const CellLibrary> fat_library() const { return fat_; }
+
+  /// Compound backing a fat cell (for differential expansion).
+  const WddlCompound& compound_of(CellTypeId fat_cell) const;
+
+ private:
+  const WddlCompound& get_or_create(WddlKind kind, const LogicFn& fn,
+                                    const std::string& preferred_name);
+  void realize_comb(WddlCompound& c) const;
+  void realize_flop(WddlCompound& c) const;
+  void realize_tie(WddlCompound& c) const;
+  CellType make_fat_cell(const WddlCompound& c) const;
+  /// Primitive count/area for one SOP half; appends to the histogram.
+  void cost_sop(const std::vector<Cube>& sop,
+                std::unordered_map<std::string, int>& hist) const;
+
+  std::shared_ptr<const CellLibrary> base_;
+  std::shared_ptr<CellLibrary> fat_;
+  std::deque<WddlCompound> compounds_;
+  std::unordered_map<std::uint64_t, std::size_t> by_function_;
+  std::unordered_map<std::int32_t, std::size_t> by_fat_cell_;
+};
+
+}  // namespace secflow

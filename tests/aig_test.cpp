@@ -1,0 +1,154 @@
+#include "synth/aig.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "synth/circuit.h"
+
+namespace secflow {
+namespace {
+
+TEST(Aig, LiteralEncoding) {
+  EXPECT_EQ(aig_not(kAigFalse), kAigTrue);
+  EXPECT_EQ(aig_node(aig_lit(5, true)), 5u);
+  EXPECT_TRUE(aig_complemented(aig_lit(5, true)));
+  EXPECT_FALSE(aig_complemented(aig_lit(5, false)));
+}
+
+TEST(Aig, ConstantFolding) {
+  Aig g;
+  const AigLit a = g.new_input("a");
+  EXPECT_EQ(g.land(a, kAigFalse), kAigFalse);
+  EXPECT_EQ(g.land(kAigFalse, a), kAigFalse);
+  EXPECT_EQ(g.land(a, kAigTrue), a);
+  EXPECT_EQ(g.land(a, a), a);
+  EXPECT_EQ(g.land(a, aig_not(a)), kAigFalse);
+  EXPECT_EQ(g.n_ands(), 0u);
+}
+
+TEST(Aig, StructuralHashing) {
+  Aig g;
+  const AigLit a = g.new_input("a");
+  const AigLit b = g.new_input("b");
+  const AigLit x = g.land(a, b);
+  const AigLit y = g.land(b, a);  // commuted: same node
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(g.n_ands(), 1u);
+  const AigLit z = g.land(aig_not(a), b);  // different
+  EXPECT_NE(x, z);
+  EXPECT_EQ(g.n_ands(), 2u);
+}
+
+TEST(Aig, EvalBasicGates) {
+  Aig g;
+  const AigLit a = g.new_input("a");
+  const AigLit b = g.new_input("b");
+  const AigLit and_ab = g.land(a, b);
+  const AigLit or_ab = g.lor(a, b);
+  const AigLit xor_ab = g.lxor(a, b);
+  std::vector<bool> vals(g.n_nodes(), false);
+  for (int av = 0; av < 2; ++av) {
+    for (int bv = 0; bv < 2; ++bv) {
+      vals[aig_node(a)] = av;
+      vals[aig_node(b)] = bv;
+      EXPECT_EQ(g.eval(and_ab, vals), av && bv);
+      EXPECT_EQ(g.eval(or_ab, vals), av || bv);
+      EXPECT_EQ(g.eval(xor_ab, vals), av != bv);
+      EXPECT_EQ(g.eval(aig_not(and_ab), vals), !(av && bv));
+    }
+  }
+}
+
+TEST(Aig, Mux) {
+  Aig g;
+  const AigLit s = g.new_input("s");
+  const AigLit t = g.new_input("t");
+  const AigLit f = g.new_input("f");
+  const AigLit m = g.lmux(s, t, f);
+  std::vector<bool> vals(g.n_nodes(), false);
+  for (unsigned i = 0; i < 8; ++i) {
+    vals[aig_node(s)] = i & 1;
+    vals[aig_node(t)] = i & 2;
+    vals[aig_node(f)] = i & 4;
+    EXPECT_EQ(g.eval(m, vals), (i & 1) ? ((i & 2) != 0) : ((i & 4) != 0));
+  }
+}
+
+TEST(Aig, ManyInputReductions) {
+  Aig g;
+  std::vector<AigLit> lits;
+  for (int i = 0; i < 5; ++i) lits.push_back(g.new_input());
+  const AigLit all = g.land_many(lits);
+  const AigLit any = g.lor_many(lits);
+  std::vector<bool> vals(g.n_nodes() + 16, false);
+  for (unsigned m = 0; m < 32; ++m) {
+    for (int i = 0; i < 5; ++i) vals[aig_node(lits[i])] = (m >> i) & 1;
+    EXPECT_EQ(g.eval(all, vals), m == 31);
+    EXPECT_EQ(g.eval(any, vals), m != 0);
+  }
+  EXPECT_EQ(g.land_many({}), kAigTrue);
+  EXPECT_EQ(g.lor_many({}), kAigFalse);
+}
+
+TEST(Aig, NodeIntrospection) {
+  Aig g;
+  const AigLit a = g.new_input("alpha");
+  const AigLit b = g.new_input("beta");
+  const AigLit x = g.land(a, aig_not(b));
+  EXPECT_TRUE(g.is_input(aig_node(a)));
+  EXPECT_FALSE(g.is_and(aig_node(a)));
+  EXPECT_TRUE(g.is_and(aig_node(x)));
+  EXPECT_EQ(g.input_name(aig_node(a)), "alpha");
+  EXPECT_EQ(g.input_nodes().size(), 2u);
+  EXPECT_EQ(g.and_nodes().size(), 1u);
+  // Fanins of the AND node (canonically ordered).
+  const AigLit f0 = g.fanin0(aig_node(x));
+  const AigLit f1 = g.fanin1(aig_node(x));
+  EXPECT_TRUE((f0 == a && f1 == aig_not(b)) || (f0 == aig_not(b) && f1 == a));
+  EXPECT_THROW(g.fanin0(aig_node(a)), Error);
+}
+
+TEST(CircuitBuilder, BuildsNamedCircuit) {
+  CircuitBuilder cb("tiny");
+  const auto a = cb.input("a", 2);
+  const auto r = cb.reg("r", 2);
+  std::vector<AigLit> next = {cb.aig().lxor(a[0], r[0]),
+                              cb.aig().land(a[1], r[1])};
+  cb.set_next("r", next);
+  cb.output("y", r);
+  const AigCircuit c = cb.take();
+  EXPECT_EQ(c.name, "tiny");
+  ASSERT_EQ(c.inputs.size(), 2u);
+  EXPECT_EQ(c.inputs[0].name, "a_0");
+  EXPECT_EQ(c.inputs[1].name, "a_1");
+  ASSERT_EQ(c.regs.size(), 2u);
+  EXPECT_EQ(c.regs[0].name, "r_0");
+  EXPECT_EQ(c.regs[0].next, next[0]);
+  ASSERT_EQ(c.outputs.size(), 2u);
+  EXPECT_EQ(c.outputs[0].name, "y_0");
+}
+
+TEST(CircuitBuilder, ScalarNamesHaveNoSuffix) {
+  CircuitBuilder cb("s");
+  const auto a = cb.input("a");
+  cb.output("y", a);
+  const AigCircuit c = cb.take();
+  EXPECT_EQ(c.inputs[0].name, "a");
+  EXPECT_EQ(c.outputs[0].name, "y");
+}
+
+TEST(CircuitBuilder, MissingNextStateThrows) {
+  CircuitBuilder cb("bad");
+  cb.reg("r", 1);
+  EXPECT_THROW(cb.take(), Error);
+}
+
+TEST(CircuitBuilder, SetNextUnknownRegThrows) {
+  CircuitBuilder cb("bad");
+  cb.reg("r", 2);
+  EXPECT_THROW(cb.set_next("nope", {kAigFalse}), Error);
+  EXPECT_THROW(cb.set_next("r", {kAigFalse}), Error);  // width mismatch
+}
+
+}  // namespace
+}  // namespace secflow

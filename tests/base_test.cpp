@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/error.h"
+#include "base/geometry.h"
+#include "base/id.h"
+#include "base/rng.h"
+#include "base/strings.h"
+#include "base/units.h"
+
+namespace secflow {
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    SECFLOW_CHECK(1 == 2, "math is broken");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, ParseErrorCarriesLocation) {
+  ParseError e("file.v line 3", "bad token");
+  EXPECT_STREQ(e.what(), "file.v line 3: bad token");
+  EXPECT_EQ(e.where(), "file.v line 3");
+}
+
+TEST(Id, DistinctTagsAreDistinctTypes) {
+  struct TagA {};
+  struct TagB {};
+  Id<TagA> a(1);
+  Id<TagB> b(1);
+  static_assert(!std::is_same_v<decltype(a), decltype(b)>);
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(Id<TagA>{}.valid());
+  EXPECT_EQ(a.value(), 1);
+}
+
+TEST(Geometry, ManhattanDistance) {
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({-2, 5}, {2, 1}), 8);
+  EXPECT_EQ(manhattan({1, 1}, {1, 1}), 0);
+}
+
+TEST(Geometry, RectBasics) {
+  Rect r{{0, 0}, {10, 20}};
+  EXPECT_EQ(r.width(), 10);
+  EXPECT_EQ(r.height(), 20);
+  EXPECT_EQ(r.area(), 200);
+  EXPECT_TRUE(r.contains({5, 5}));
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({10, 20}));
+  EXPECT_FALSE(r.contains({11, 5}));
+  EXPECT_EQ(r.center(), (Point{5, 10}));
+}
+
+TEST(Geometry, RectOverlapAndInflate) {
+  Rect a{{0, 0}, {10, 10}};
+  Rect b{{5, 5}, {15, 15}};
+  Rect c{{20, 20}, {30, 30}};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(a.inflated(15).overlaps(c));
+  EXPECT_EQ(a.inflated(2), (Rect{{-2, -2}, {12, 12}}));
+}
+
+TEST(Geometry, SpanningNormalises) {
+  EXPECT_EQ(Rect::spanning({5, 1}, {2, 9}), (Rect{{2, 1}, {5, 9}}));
+}
+
+TEST(Geometry, BoundingBox) {
+  EXPECT_EQ(bounding_box({}), (Rect{}));
+  EXPECT_EQ(bounding_box({{1, 2}, {-3, 9}, {4, 0}}),
+            (Rect{{-3, 0}, {4, 9}}));
+}
+
+TEST(Geometry, SegmentOrientation) {
+  Segment h{{0, 5}, {10, 5}, 0, 280};
+  Segment v{{3, 0}, {3, 7}, 1, 280};
+  EXPECT_TRUE(h.horizontal());
+  EXPECT_FALSE(h.vertical());
+  EXPECT_TRUE(v.vertical());
+  EXPECT_EQ(h.length(), 10);
+  EXPECT_EQ(v.length(), 7);
+  EXPECT_EQ(h.translated(0, 2), (Segment{{0, 7}, {10, 7}, 0, 280}));
+}
+
+TEST(Geometry, IntervalOverlap) {
+  EXPECT_EQ(interval_overlap(0, 10, 5, 15), 5);
+  EXPECT_EQ(interval_overlap(10, 0, 15, 5), 5);  // unordered inputs
+  EXPECT_EQ(interval_overlap(0, 4, 5, 9), 0);
+  EXPECT_EQ(interval_overlap(0, 10, 2, 8), 6);
+}
+
+TEST(Geometry, ParallelRunLength) {
+  Segment a{{0, 0}, {100, 0}, 1, 280};
+  Segment b{{50, 560}, {150, 560}, 1, 280};
+  std::int64_t sep = 0;
+  EXPECT_EQ(parallel_run_length(a, b, &sep), 50);
+  EXPECT_EQ(sep, 560);
+  // Different layer: no coupling.
+  Segment c{{50, 560}, {150, 560}, 2, 280};
+  EXPECT_EQ(parallel_run_length(a, c), 0);
+  // Perpendicular: no coupling.
+  Segment d{{50, -10}, {50, 10}, 1, 280};
+  EXPECT_EQ(parallel_run_length(a, d), 0);
+}
+
+TEST(Units, DbuRoundTrip) {
+  EXPECT_EQ(um_to_dbu(0.56), 560);
+  EXPECT_EQ(um_to_dbu(1.0), 1000);
+  EXPECT_DOUBLE_EQ(dbu_to_um(560), 0.56);
+  EXPECT_EQ(um_to_dbu(dbu_to_um(12345)), 12345);
+}
+
+TEST(Units, SwitchEnergy) {
+  Process018 p;
+  // 10 fF at 1.8 V: E = 10e-15 * 3.24 J = 32.4 fJ = 0.0324 pJ.
+  EXPECT_NEAR(p.switch_energy_pj(10.0), 0.0324, 1e-9);
+}
+
+TEST(Units, SamplingSpec) {
+  SamplingSpec s;
+  EXPECT_DOUBLE_EQ(s.cycle_s(), 8e-9);
+  EXPECT_DOUBLE_EQ(s.sample_dt_s(), 1e-11);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversAll) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(11);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(5);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,,c", ","), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("  x y ", " "), (std::vector<std::string>{"x", "y"}));
+  EXPECT_TRUE(split("", ",").empty());
+}
+
+TEST(Strings, TrimAndStartsWith) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_TRUE(starts_with("module foo", "module"));
+  EXPECT_FALSE(starts_with("mod", "module"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("abc_12$"));
+  EXPECT_TRUE(is_identifier("_x"));
+  EXPECT_FALSE(is_identifier("9x"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("a-b"));
+}
+
+TEST(Strings, Strfmt) {
+  EXPECT_EQ(strfmt("%d/%s/%.2f", 3, "x", 1.5), "3/x/1.50");
+  EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace secflow

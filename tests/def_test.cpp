@@ -1,0 +1,75 @@
+#include "pnr/def.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "liberty/builtin_lib.h"
+
+namespace secflow {
+namespace {
+
+DefDesign sample() {
+  DefDesign d;
+  d.name = "s";
+  d.die = {{0, 0}, {20000, 10000}};
+  d.row_height_dbu = 5040;
+  d.track_pitch_dbu = 560;
+  d.components.push_back(DefComponent{"u1", "INV", {560, 0}});
+  d.components.push_back(DefComponent{"u2", "NAND2", {5600, 5040}});
+  DefNet a{"a",
+           {Segment{{0, 0}, {2000, 0}, 0, 280},
+            Segment{{2000, 0}, {2000, 3000}, 1, 280}},
+           {DefVia{{2000, 0}, 0, 1}}};
+  DefNet b{"b", {Segment{{0, 560}, {1000, 560}, 2, 280}}, {}};
+  d.nets = {a, b};
+  return d;
+}
+
+TEST(DefDesign, Lookups) {
+  const DefDesign d = sample();
+  ASSERT_NE(d.find_component("u1"), nullptr);
+  EXPECT_EQ(d.find_component("u1")->macro, "INV");
+  EXPECT_EQ(d.find_component("nope"), nullptr);
+  ASSERT_NE(d.find_net("a"), nullptr);
+  EXPECT_EQ(d.find_net("zz"), nullptr);
+}
+
+TEST(DefDesign, Totals) {
+  const DefDesign d = sample();
+  EXPECT_EQ(d.nets[0].total_wirelength(), 5000);
+  EXPECT_EQ(d.total_wirelength(), 6000);
+  EXPECT_EQ(d.total_vias(), 1);
+  EXPECT_DOUBLE_EQ(d.die_area_um2(), 20.0 * 10.0);
+}
+
+TEST(DefDesign, PinPosition) {
+  const DefDesign d = sample();
+  const auto cells = builtin_stdcell018();
+  const LefLibrary lef = generate_lef(*cells, {});
+  const Point a = d.pin_position(lef, "u1", "A");
+  const Point expected =
+      Point{560, 0} + lef.macro("INV").find_pin("A")->offset;
+  EXPECT_EQ(a, expected);
+  EXPECT_THROW(d.pin_position(lef, "ghost", "A"), Error);
+  EXPECT_THROW(d.pin_position(lef, "u1", "GHOST"), Error);
+}
+
+TEST(DefDesign, MutableNetLookup) {
+  DefDesign d = sample();
+  DefNet* n = d.find_net("b");
+  ASSERT_NE(n, nullptr);
+  n->wires.push_back(Segment{{0, 0}, {100, 0}, 0, 280});
+  EXPECT_EQ(d.find_net("b")->wires.size(), 2u);
+}
+
+TEST(DefDesign, EmptyDesignSerializes) {
+  DefDesign d;
+  d.name = "empty";
+  const DefDesign back = parse_def(write_def(d));
+  EXPECT_EQ(back.name, "empty");
+  EXPECT_TRUE(back.components.empty());
+  EXPECT_TRUE(back.nets.empty());
+}
+
+}  // namespace
+}  // namespace secflow

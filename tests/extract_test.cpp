@@ -1,0 +1,216 @@
+#include "extract/extract.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+
+#include "liberty/builtin_lib.h"
+#include "netlist/netlist_ops.h"
+#include "pnr/decompose.h"
+#include "pnr/place.h"
+#include "pnr/route.h"
+#include "synth/hdl.h"
+#include "synth/techmap.h"
+#include "wddl/cell_substitution.h"
+#include "wddl/wddl_library.h"
+
+namespace secflow {
+namespace {
+
+class ExtractTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const CellLibrary> lib_ = builtin_stdcell018();
+};
+
+TEST_F(ExtractTest, WireCapScalesWithLength) {
+  DefDesign d;
+  d.name = "t";
+  d.die = {{0, 0}, {100000, 10000}};
+  DefNet short_net{"short", {Segment{{0, 0}, {10000, 0}, 0, 280}}, {}};
+  DefNet long_net{"long", {Segment{{0, 5000}, {80000, 5000}, 0, 280}}, {}};
+  d.nets = {short_net, long_net};
+  Netlist nl("empty", lib_);  // no pins
+
+  const Extraction ex = extract_parasitics(d, nl);
+  const double cs = ex.find("short")->total_cap_ff();
+  const double cl = ex.find("long")->total_cap_ff();
+  EXPECT_GT(cs, 0.0);
+  EXPECT_NEAR(cl / cs, 8.0, 0.01);  // area+fringe both linear in length
+  EXPECT_NEAR(ex.find("long")->res_kohm / ex.find("short")->res_kohm, 8.0,
+              0.01);
+}
+
+TEST_F(ExtractTest, ViasAddCapAndResistance) {
+  DefDesign d;
+  d.name = "t";
+  d.die = {{0, 0}, {10000, 10000}};
+  DefNet plain{"plain", {Segment{{0, 0}, {5000, 0}, 0, 280}}, {}};
+  DefNet with_via{"via",
+                  {Segment{{0, 560}, {5000, 560}, 0, 280}},
+                  {DefVia{{5000, 560}, 0, 1}}};
+  d.nets = {plain, with_via};
+  Netlist nl("empty", lib_);
+  const Extraction ex = extract_parasitics(d, nl);
+  EXPECT_GT(ex.find("via")->total_cap_ff(), ex.find("plain")->total_cap_ff());
+  EXPECT_GT(ex.find("via")->res_kohm, ex.find("plain")->res_kohm);
+}
+
+TEST_F(ExtractTest, CouplingOnlyBetweenParallelNeighbours) {
+  DefDesign d;
+  d.name = "t";
+  d.die = {{0, 0}, {100000, 100000}};
+  // a and b run parallel at one pitch; c is far away; e is perpendicular.
+  d.nets = {
+      DefNet{"a", {Segment{{0, 0}, {50000, 0}, 0, 280}}, {}},
+      DefNet{"b", {Segment{{0, 560}, {50000, 560}, 0, 280}}, {}},
+      DefNet{"c", {Segment{{0, 50000}, {50000, 50000}, 0, 280}}, {}},
+      DefNet{"e", {Segment{{10000, -20000}, {10000, 20000}, 1, 280}}, {}},
+  };
+  Netlist nl("empty", lib_);
+  const Extraction ex = extract_parasitics(d, nl);
+  EXPECT_GT(ex.find("a")->coupling_cap_ff, 0.0);
+  EXPECT_DOUBLE_EQ(ex.find("a")->coupling_cap_ff,
+                   ex.find("b")->coupling_cap_ff);
+  EXPECT_DOUBLE_EQ(ex.find("c")->coupling_cap_ff, 0.0);
+  EXPECT_DOUBLE_EQ(ex.find("e")->coupling_cap_ff, 0.0);
+  ASSERT_EQ(ex.find("a")->couplings.size(), 1u);
+  EXPECT_EQ(ex.find("a")->couplings[0].first, "b");
+}
+
+TEST_F(ExtractTest, CouplingFallsWithSeparation) {
+  DefDesign d;
+  d.name = "t";
+  d.die = {{0, 0}, {100000, 100000}};
+  d.nets = {
+      DefNet{"x", {Segment{{0, 0}, {50000, 0}, 0, 280}}, {}},
+      DefNet{"near", {Segment{{0, 560}, {50000, 560}, 0, 280}}, {}},
+      DefNet{"far", {Segment{{0, -1120}, {50000, -1120}, 0, 280}}, {}},
+  };
+  Netlist nl("empty", lib_);
+  const Extraction ex = extract_parasitics(d, nl);
+  double c_near = 0, c_far = 0;
+  for (const auto& [other, c] : ex.find("x")->couplings) {
+    if (other == "near") c_near = c;
+    if (other == "far") c_far = c;
+  }
+  EXPECT_GT(c_near, c_far);
+  EXPECT_GT(c_far, 0.0);
+}
+
+TEST_F(ExtractTest, PinCapsComeFromNetlist) {
+  Netlist nl("t", lib_);
+  const NetId a = nl.add_net("a");
+  const NetId y = nl.add_net("y");
+  nl.add_port("a", PinDir::kInput, a);
+  nl.add_port("y", PinDir::kOutput, y);
+  add_gate(nl, "INV", "u1", {a}, y);
+  add_gate(nl, "NAND2", "u2", {a, y}, nl.add_net("z"));
+
+  DefDesign d;
+  d.name = "t";
+  d.die = {{0, 0}, {10000, 10000}};
+  d.nets = {DefNet{"a", {Segment{{0, 0}, {1000, 0}, 0, 280}}, {}},
+            DefNet{"y", {Segment{{0, 560}, {1000, 560}, 0, 280}}, {}}};
+  const Extraction ex = extract_parasitics(d, nl);
+  // a feeds INV.A (2.0) + NAND2.A (2.1); y feeds NAND2.B (2.1).
+  EXPECT_NEAR(ex.find("a")->pin_cap_ff, 4.1, 1e-9);
+  EXPECT_NEAR(ex.find("y")->pin_cap_ff, 2.1, 1e-9);
+}
+
+TEST_F(ExtractTest, VariationIsDeterministicPerSeed) {
+  DefDesign d;
+  d.name = "t";
+  d.die = {{0, 0}, {100000, 10000}};
+  d.nets = {DefNet{"n", {Segment{{0, 0}, {50000, 0}, 0, 280}}, {}}};
+  Netlist nl("empty", lib_);
+  ExtractOptions o1;
+  o1.variation_sigma = 0.05;
+  o1.seed = 42;
+  ExtractOptions o2 = o1;
+  ExtractOptions o3 = o1;
+  o3.seed = 43;
+  const double c1 = extract_parasitics(d, nl, o1).find("n")->total_cap_ff();
+  const double c2 = extract_parasitics(d, nl, o2).find("n")->total_cap_ff();
+  const double c3 = extract_parasitics(d, nl, o3).find("n")->total_cap_ff();
+  EXPECT_DOUBLE_EQ(c1, c2);
+  EXPECT_NE(c1, c3);
+}
+
+TEST_F(ExtractTest, CapTableCoversInternalNets) {
+  Netlist nl("t", lib_);
+  const NetId a = nl.add_net("a");
+  const NetId inner = nl.add_net("inner");
+  const NetId y = nl.add_net("y");
+  nl.add_port("a", PinDir::kInput, a);
+  nl.add_port("y", PinDir::kOutput, y);
+  add_gate(nl, "INV", "u1", {a}, inner);
+  add_gate(nl, "INV", "u2", {inner}, y);
+
+  DefDesign d;
+  d.name = "t";
+  d.die = {{0, 0}, {10000, 10000}};
+  d.nets = {DefNet{"a", {Segment{{0, 0}, {1000, 0}, 0, 280}}, {}}};
+  const Extraction ex = extract_parasitics(d, nl);
+  const auto table = build_cap_table(nl, ex, 0.8);
+  ASSERT_TRUE(table.contains("inner"));
+  // inner: internal default 0.8 + INV.A 2.0.
+  EXPECT_NEAR(table.at("inner"), 2.8, 1e-9);
+  // a: extracted wire cap + pin cap.
+  EXPECT_GT(table.at("a"), 2.0);
+}
+
+
+TEST_F(ExtractTest, BalanceRailCapsEqualizesPairs) {
+  std::unordered_map<std::string, double> caps = {
+      {"n1_t", 10.0}, {"n1_f", 14.0}, {"n2_t", 8.0}, {"n2_f", 8.0},
+      {"clk", 30.0}, {"lonely_t", 5.0}};
+  const int adjusted = balance_rail_caps(caps, 1.0);
+  EXPECT_EQ(adjusted, 2);
+  EXPECT_DOUBLE_EQ(caps["n1_t"], 14.0);
+  EXPECT_DOUBLE_EQ(caps["n1_f"], 14.0);
+  EXPECT_DOUBLE_EQ(caps["n2_t"], 8.0);
+  EXPECT_DOUBLE_EQ(caps["clk"], 30.0);       // untouched
+  EXPECT_DOUBLE_EQ(caps["lonely_t"], 5.0);   // unpaired: untouched
+}
+
+TEST_F(ExtractTest, BalanceRailCapsPartialStrength) {
+  std::unordered_map<std::string, double> caps = {{"a_t", 10.0},
+                                                  {"a_f", 20.0}};
+  balance_rail_caps(caps, 0.5);
+  EXPECT_DOUBLE_EQ(caps["a_t"], 15.0);
+  EXPECT_DOUBLE_EQ(caps["a_f"], 20.0);
+  EXPECT_THROW(balance_rail_caps(caps, 1.5), Error);
+}
+
+// End-to-end: matched rails from the secure pipeline, mismatched nets from
+// the regular one — the crux of the countermeasure.
+TEST_F(ExtractTest, DifferentialRailsExtractMatched) {
+  const Netlist rtl = technology_map(parse_hdl(R"(
+    module m (input a, input b, input c, output y);
+      assign y = (a & b) ^ c;
+    endmodule)"),
+                                     lib_);
+  WddlLibrary wlib(lib_);
+  SubstitutionResult sub = substitute_cells(rtl, wlib);
+  LefGenOptions fat_opts;
+  fat_opts.wire_scale = 2.0;
+  const LefLibrary fat_lef = generate_lef(*wlib.fat_library(), fat_opts);
+  DefDesign fat_def = place_design(sub.fat, fat_lef);
+  route_design(sub.fat, fat_lef, fat_def);
+  const Process018 pr;
+  const DefDesign diff = decompose_interconnect(
+      fat_def, um_to_dbu(pr.wire_pitch_um), um_to_dbu(pr.wire_width_um));
+  const Netlist diff_nl = expand_differential(sub.fat, wlib);
+
+  const Extraction ex = extract_parasitics(diff, diff_nl);
+  const auto mismatch = rail_mismatch_ff(ex);
+  EXPECT_FALSE(mismatch.empty());
+  for (const auto& [net, mm] : mismatch) {
+    // Wire geometry is exactly matched; only pin-cap asymmetry of the
+    // compound internals remains, which is bounded by a few fF.
+    EXPECT_LT(mm, 8.0) << net;
+  }
+}
+
+}  // namespace
+}  // namespace secflow

@@ -1,0 +1,229 @@
+#include "synth/hdl.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+
+namespace secflow {
+namespace {
+
+/// Evaluate a combinational AigCircuit output for given input bit values
+/// keyed by scalar bit name.
+bool eval_output(const AigCircuit& c, const std::string& out_name,
+                 const std::vector<std::pair<std::string, bool>>& ins) {
+  std::vector<bool> vals(c.aig.n_nodes(), false);
+  for (const auto& [name, v] : ins) {
+    bool found = false;
+    for (const CircuitBit& b : c.inputs) {
+      if (b.name == name) {
+        vals[aig_node(b.lit)] = v;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "no input " << name;
+  }
+  for (const CircuitBit& b : c.outputs) {
+    if (b.name == out_name) return c.aig.eval(b.lit, vals);
+  }
+  ADD_FAILURE() << "no output " << out_name;
+  return false;
+}
+
+TEST(Hdl, CombinationalExpressions) {
+  const AigCircuit c = parse_hdl(R"(
+    module m (input a, input b, input s, output y, output z);
+      wire t;
+      assign t = a ^ b;
+      assign y = s ? t : ~a;
+      assign z = (a | b) & ~s;
+    endmodule
+  )");
+  EXPECT_EQ(c.name, "m");
+  EXPECT_TRUE(c.regs.empty());
+  for (unsigned i = 0; i < 8; ++i) {
+    const bool a = i & 1, b = i & 2, s = i & 4;
+    EXPECT_EQ(eval_output(c, "y", {{"a", a}, {"b", b}, {"s", s}}),
+              s ? (a != b) : !a)
+        << i;
+    EXPECT_EQ(eval_output(c, "z", {{"a", a}, {"b", b}, {"s", s}}),
+              (a || b) && !s)
+        << i;
+  }
+}
+
+TEST(Hdl, VectorOperationsAndLiterals) {
+  const AigCircuit c = parse_hdl(R"(
+    module m (input [3:0] a, output [3:0] y);
+      assign y = a ^ 4'b0110;
+    endmodule
+  )");
+  ASSERT_EQ(c.inputs.size(), 4u);
+  ASSERT_EQ(c.outputs.size(), 4u);
+  for (unsigned v = 0; v < 16; ++v) {
+    for (int bit = 0; bit < 4; ++bit) {
+      const bool expect = ((v ^ 0b0110u) >> bit) & 1;
+      EXPECT_EQ(eval_output(c, "y_" + std::to_string(bit),
+                            {{"a_0", (v >> 0) & 1},
+                             {"a_1", (v >> 1) & 1},
+                             {"a_2", (v >> 2) & 1},
+                             {"a_3", (v >> 3) & 1}}),
+                expect)
+          << v << " bit " << bit;
+    }
+  }
+}
+
+TEST(Hdl, DecimalAndHexLiterals) {
+  const AigCircuit c = parse_hdl(R"(
+    module m (input [5:0] a, output [5:0] y, output [5:0] z);
+      assign y = a ^ 6'd46;
+      assign z = a & 6'h2E;
+    endmodule
+  )");
+  // 46 = 0b101110 = 0x2E.
+  for (int bit = 0; bit < 6; ++bit) {
+    const bool kbit = (46 >> bit) & 1;
+    std::vector<std::pair<std::string, bool>> ins;
+    for (int i = 0; i < 6; ++i) ins.emplace_back("a_" + std::to_string(i), true);
+    EXPECT_EQ(eval_output(c, "y_" + std::to_string(bit), ins), !kbit);
+    EXPECT_EQ(eval_output(c, "z_" + std::to_string(bit), ins), kbit);
+  }
+}
+
+TEST(Hdl, BitSelectAndBitAssign) {
+  const AigCircuit c = parse_hdl(R"(
+    module m (input [1:0] a, output [1:0] y);
+      assign y[0] = a[1];
+      assign y[1] = ~a[0];
+    endmodule
+  )");
+  EXPECT_EQ(eval_output(c, "y_0", {{"a_0", false}, {"a_1", true}}), true);
+  EXPECT_EQ(eval_output(c, "y_1", {{"a_0", false}, {"a_1", true}}), true);
+  EXPECT_EQ(eval_output(c, "y_1", {{"a_0", true}, {"a_1", false}}), false);
+}
+
+TEST(Hdl, RegistersElaborate) {
+  const AigCircuit c = parse_hdl(R"(
+    module m (input clk, input [1:0] d, output [1:0] q);
+      reg [1:0] r;
+      always @(posedge clk) begin
+        r <= d ^ r;
+      end
+      assign q = r;
+    endmodule
+  )");
+  EXPECT_EQ(c.clock, "clk");
+  ASSERT_EQ(c.regs.size(), 2u);
+  EXPECT_EQ(c.regs[0].name, "r_0");
+  EXPECT_NE(c.regs[0].next, 0u);
+  // Clock is not a data input.
+  for (const CircuitBit& b : c.inputs) EXPECT_NE(b.name, "clk");
+}
+
+TEST(Hdl, WiresResolveOutOfOrder) {
+  const AigCircuit c = parse_hdl(R"(
+    module m (input a, output y);
+      wire w2, w1;
+      assign y = w2;
+      assign w2 = ~w1;
+      assign w1 = ~a;
+    endmodule
+  )");
+  EXPECT_EQ(eval_output(c, "y", {{"a", true}}), true);
+  EXPECT_EQ(eval_output(c, "y", {{"a", false}}), false);
+}
+
+TEST(Hdl, ErrorUndefinedSignal) {
+  EXPECT_THROW(parse_hdl(R"(
+    module m (input a, output y);
+      assign y = ghost;
+    endmodule)"),
+               ParseError);
+}
+
+TEST(Hdl, ErrorWidthMismatch) {
+  EXPECT_THROW(parse_hdl(R"(
+    module m (input [3:0] a, input [1:0] b, output [3:0] y);
+      assign y = a & b;
+    endmodule)"),
+               ParseError);
+}
+
+TEST(Hdl, ErrorCombinationalLoop) {
+  EXPECT_THROW(parse_hdl(R"(
+    module m (input a, output y);
+      wire w;
+      assign w = ~w;
+      assign y = w;
+    endmodule)"),
+               ParseError);
+}
+
+TEST(Hdl, ErrorMultipleDrivers) {
+  EXPECT_THROW(parse_hdl(R"(
+    module m (input a, output y);
+      assign y = a;
+      assign y = ~a;
+    endmodule)"),
+               ParseError);
+}
+
+TEST(Hdl, ErrorMultipleClocks) {
+  EXPECT_THROW(parse_hdl(R"(
+    module m (input c1, input c2, input d, output q);
+      reg r1, r2;
+      always @(posedge c1) r1 <= d;
+      always @(posedge c2) r2 <= d;
+      assign q = r1 & r2;
+    endmodule)"),
+               ParseError);
+}
+
+TEST(Hdl, ErrorAssignToInput) {
+  EXPECT_THROW(parse_hdl(R"(
+    module m (input a, output y);
+      assign a = y;
+    endmodule)"),
+               ParseError);
+}
+
+TEST(Hdl, ErrorRegContinuousAssign) {
+  EXPECT_THROW(parse_hdl(R"(
+    module m (input clk, input a, output y);
+      reg r;
+      assign r = a;
+      always @(posedge clk) r <= a;
+      assign y = r;
+    endmodule)"),
+               ParseError);
+}
+
+TEST(Hdl, ErrorNeverAssigned) {
+  EXPECT_THROW(parse_hdl(R"(
+    module m (input a, output y);
+      wire w;
+      assign y = w;
+    endmodule)"),
+               ParseError);
+}
+
+TEST(Hdl, ErrorClockInExpression) {
+  EXPECT_THROW(parse_hdl(R"(
+    module m (input clk, input a, output y);
+      reg r;
+      always @(posedge clk) r <= a;
+      assign y = r & clk;
+    endmodule)"),
+               ParseError);
+}
+
+TEST(Hdl, ErrorBitOutOfRange) {
+  EXPECT_THROW(parse_hdl(R"(
+    module m (input [1:0] a, output y);
+      assign y = a[5];
+    endmodule)"),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace secflow

@@ -1,0 +1,253 @@
+#include "lec/lec.h"
+
+#include <gtest/gtest.h>
+
+#include "lec/bdd.h"
+#include "liberty/builtin_lib.h"
+#include "netlist/netlist_ops.h"
+#include "synth/hdl.h"
+#include "synth/techmap.h"
+#include "wddl/cell_substitution.h"
+#include "wddl/wddl_library.h"
+
+namespace secflow {
+namespace {
+
+// --- BDD package -------------------------------------------------------------
+
+TEST(Bdd, TerminalsAndVariables) {
+  Bdd bdd;
+  EXPECT_NE(Bdd::kFalse, Bdd::kTrue);
+  const BddRef a = bdd.var(0);
+  EXPECT_EQ(bdd.var(0), a);  // canonical
+  EXPECT_NE(a, bdd.var(1));
+}
+
+TEST(Bdd, BooleanAlgebra) {
+  Bdd bdd;
+  const BddRef a = bdd.var(0);
+  const BddRef b = bdd.var(1);
+  EXPECT_EQ(bdd.bdd_and(a, a), a);
+  EXPECT_EQ(bdd.bdd_or(a, a), a);
+  EXPECT_EQ(bdd.bdd_and(a, bdd.bdd_not(a)), Bdd::kFalse);
+  EXPECT_EQ(bdd.bdd_or(a, bdd.bdd_not(a)), Bdd::kTrue);
+  EXPECT_EQ(bdd.bdd_not(bdd.bdd_not(a)), a);
+  // Commutativity gives identical nodes (canonicity).
+  EXPECT_EQ(bdd.bdd_and(a, b), bdd.bdd_and(b, a));
+  EXPECT_EQ(bdd.bdd_xor(a, b), bdd.bdd_xor(b, a));
+  // De Morgan.
+  EXPECT_EQ(bdd.bdd_not(bdd.bdd_and(a, b)),
+            bdd.bdd_or(bdd.bdd_not(a), bdd.bdd_not(b)));
+}
+
+TEST(Bdd, EvalMatchesSemantics) {
+  Bdd bdd;
+  const BddRef a = bdd.var(0);
+  const BddRef b = bdd.var(1);
+  const BddRef c = bdd.var(2);
+  const BddRef f = bdd.bdd_or(bdd.bdd_and(a, b), bdd.bdd_not(c));
+  for (unsigned i = 0; i < 8; ++i) {
+    const std::vector<bool> assign = {(i & 1) != 0, (i & 2) != 0,
+                                      (i & 4) != 0};
+    EXPECT_EQ(bdd.eval(f, assign),
+              (assign[0] && assign[1]) || !assign[2])
+        << i;
+  }
+}
+
+TEST(Bdd, ApplyFnMatchesTruthTable) {
+  Bdd bdd;
+  std::vector<BddRef> args = {bdd.var(0), bdd.var(1), bdd.var(2)};
+  for (std::uint64_t t = 0; t < 256; t += 5) {
+    const LogicFn fn(3, t);
+    const BddRef f = bdd.apply_fn(fn, args);
+    for (unsigned i = 0; i < 8; ++i) {
+      const std::vector<bool> assign = {(i & 1) != 0, (i & 2) != 0,
+                                        (i & 4) != 0};
+      EXPECT_EQ(bdd.eval(f, assign), fn.eval(i)) << "t=" << t << " i=" << i;
+    }
+  }
+}
+
+TEST(Bdd, AnySatFindsWitness) {
+  Bdd bdd;
+  const BddRef a = bdd.var(0);
+  const BddRef b = bdd.var(1);
+  const BddRef f = bdd.bdd_and(bdd.bdd_not(a), b);
+  const auto assign = bdd.any_sat(f, 2);
+  EXPECT_TRUE(bdd.eval(f, assign));
+  EXPECT_FALSE(assign[0]);
+  EXPECT_TRUE(assign[1]);
+}
+
+// --- LEC ----------------------------------------------------------------------
+
+class LecTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const CellLibrary> lib_ = builtin_stdcell018();
+
+  Netlist map_hdl(const std::string& src) {
+    return technology_map(parse_hdl(src), lib_);
+  }
+};
+
+TEST_F(LecTest, IdenticalNetlistsAreEquivalent) {
+  const Netlist a = map_hdl(R"(
+    module m (input x, input y, output z);
+      assign z = x ^ y;
+    endmodule)");
+  const LecResult r = check_equivalence(a, a);
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_EQ(r.compared_points, 1);
+}
+
+TEST_F(LecTest, StructurallyDifferentButEquivalent) {
+  // Same function, different gates: z = !(x & y) vs !x | !y.
+  const Netlist a = map_hdl(R"(
+    module m (input x, input y, output z);
+      assign z = ~(x & y);
+    endmodule)");
+  const Netlist b = map_hdl(R"(
+    module m (input x, input y, output z);
+      assign z = ~x | ~y;
+    endmodule)");
+  EXPECT_TRUE(check_equivalence(a, b).equivalent);
+}
+
+TEST_F(LecTest, DetectsFunctionalDifference) {
+  const Netlist a = map_hdl(R"(
+    module m (input x, input y, output z);
+      assign z = x & y;
+    endmodule)");
+  const Netlist b = map_hdl(R"(
+    module m (input x, input y, output z);
+      assign z = x | y;
+    endmodule)");
+  const LecResult r = check_equivalence(a, b);
+  EXPECT_FALSE(r.equivalent);
+  ASSERT_EQ(r.mismatches.size(), 1u);
+  EXPECT_EQ(r.mismatches[0].what, "output z");
+  EXPECT_FALSE(r.mismatches[0].counterexample.empty());
+}
+
+TEST_F(LecTest, CounterexampleIsReal) {
+  const Netlist a = map_hdl(R"(
+    module m (input x, input y, output z);
+      assign z = x & y;
+    endmodule)");
+  const Netlist b = map_hdl(R"(
+    module m (input x, input y, output z);
+      assign z = x;
+    endmodule)");
+  const LecResult r = check_equivalence(a, b);
+  ASSERT_FALSE(r.equivalent);
+  // The counterexample must set x=1, y=0 (the only differing assignment).
+  EXPECT_NE(r.mismatches[0].counterexample.find("x=1"), std::string::npos);
+  EXPECT_NE(r.mismatches[0].counterexample.find("y=0"), std::string::npos);
+}
+
+TEST_F(LecTest, SequentialEquivalenceByRegisterCorrespondence) {
+  const std::string src = R"(
+    module m (input clk, input d, output q);
+      reg r;
+      always @(posedge clk) r <= d ^ r;
+      assign q = r;
+    endmodule)";
+  const Netlist a = map_hdl(src);
+  const Netlist b = map_hdl(src);
+  const LecResult r = check_equivalence(a, b);
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_EQ(r.compared_points, 2);  // output q + register r_reg
+}
+
+TEST_F(LecTest, DetectsNextStateDifference) {
+  const Netlist a = map_hdl(R"(
+    module m (input clk, input d, output q);
+      reg r;
+      always @(posedge clk) r <= d ^ r;
+      assign q = r;
+    endmodule)");
+  const Netlist b = map_hdl(R"(
+    module m (input clk, input d, output q);
+      reg r;
+      always @(posedge clk) r <= d | r;
+      assign q = r;
+    endmodule)");
+  const LecResult r = check_equivalence(a, b);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_EQ(r.mismatches[0].what, "register r_reg");
+}
+
+TEST_F(LecTest, ReportsMissingPortsAndRegisters) {
+  const Netlist a = map_hdl(R"(
+    module m (input clk, input d, output q, output extra);
+      reg r;
+      always @(posedge clk) r <= d;
+      assign q = r;
+      assign extra = d;
+    endmodule)");
+  const Netlist b = map_hdl(R"(
+    module m (input d, output q);
+      assign q = d;
+    endmodule)");
+  const LecResult r = check_equivalence(a, b);
+  EXPECT_FALSE(r.equivalent);
+  bool missing_port = false, missing_reg = false;
+  for (const LecMismatch& m : r.mismatches) {
+    if (m.what.find("extra") != std::string::npos) missing_port = true;
+    if (m.what.find("register") != std::string::npos) missing_reg = true;
+  }
+  EXPECT_TRUE(missing_port);
+  EXPECT_TRUE(missing_reg);
+}
+
+// --- the paper's verification step: fat netlist == original -----------------
+
+TEST_F(LecTest, FatNetlistEquivalentToOriginal) {
+  const std::string src = R"(
+    module m (input clk, input [3:0] a, input [3:0] b, output [3:0] y);
+      reg [3:0] r;
+      wire [3:0] t;
+      assign t = (a ^ b) & ~(a & b);
+      always @(posedge clk) r <= t ^ r;
+      assign y = r;
+    endmodule)";
+  const Netlist rtl = map_hdl(src);
+  WddlLibrary wlib(lib_);
+  const SubstitutionResult res = substitute_cells(rtl, wlib);
+  const LecResult r = check_equivalence(rtl, res.fat);
+  EXPECT_TRUE(r.equivalent) << (r.mismatches.empty()
+                                    ? ""
+                                    : r.mismatches[0].what + " @ " +
+                                          r.mismatches[0].counterexample);
+  EXPECT_EQ(r.compared_points, 8);  // 4 outputs + 4 registers
+}
+
+TEST_F(LecTest, FatLecCatchesInjectedBug) {
+  // Corrupt the fat netlist by retargeting one compound input and verify
+  // the checker notices.
+  const Netlist rtl = map_hdl(R"(
+    module m (input a, input b, input c, output y);
+      assign y = (a & b) | c;
+    endmodule)");
+  WddlLibrary wlib(lib_);
+  SubstitutionResult res = substitute_cells(rtl, wlib);
+  // Find a gate instance with >= 2 inputs and swap one input to another net.
+  bool corrupted = false;
+  for (InstId iid : res.fat.instance_ids()) {
+    const CellType& type = res.fat.cell_of(iid);
+    if (type.kind != CellKind::kCombinational || type.n_inputs() < 2) continue;
+    const auto pins = type.input_pins();
+    const NetId other =
+        res.fat.instance(iid).conns[static_cast<std::size_t>(pins[1])];
+    res.fat.disconnect(iid, pins[0]);
+    res.fat.connect(iid, pins[0], other);
+    corrupted = true;
+    break;
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_FALSE(check_equivalence(rtl, res.fat).equivalent);
+}
+
+}  // namespace
+}  // namespace secflow

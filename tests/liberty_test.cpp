@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "liberty/bool_expr.h"
+#include "liberty/builtin_lib.h"
+#include "liberty/liberty_parser.h"
+
+namespace secflow {
+namespace {
+
+// --- bool expression parser ----------------------------------------------
+
+TEST(BoolExpr, BasicOperators) {
+  const std::vector<std::string> ab = {"A", "B"};
+  EXPECT_EQ(parse_bool_expr("A&B", ab), LogicFn::and_n(2));
+  EXPECT_EQ(parse_bool_expr("A|B", ab), LogicFn::or_n(2));
+  EXPECT_EQ(parse_bool_expr("A^B", ab), LogicFn::xor_n(2));
+  EXPECT_EQ(parse_bool_expr("!(A&B)", ab), LogicFn::nand_n(2));
+  EXPECT_EQ(parse_bool_expr("!(A|B)", ab), LogicFn::nor_n(2));
+  EXPECT_EQ(parse_bool_expr("!(A^B)", ab), LogicFn::xnor_n(2));
+}
+
+TEST(BoolExpr, LibertyStyleSynonyms) {
+  const std::vector<std::string> ab = {"A", "B"};
+  EXPECT_EQ(parse_bool_expr("A*B", ab), LogicFn::and_n(2));
+  EXPECT_EQ(parse_bool_expr("A+B", ab), LogicFn::or_n(2));
+  EXPECT_EQ(parse_bool_expr("A'", ab).eval(0b01), false);
+  EXPECT_EQ(parse_bool_expr("A B", ab), LogicFn::and_n(2));  // juxtaposition
+}
+
+TEST(BoolExpr, Precedence) {
+  const std::vector<std::string> abc = {"A", "B", "C"};
+  // ! binds tighter than &, & tighter than ^, ^ tighter than |.
+  const LogicFn f = parse_bool_expr("!A&B|C", abc);
+  for (unsigned i = 0; i < 8; ++i) {
+    const bool a = i & 1, b = i & 2, c = i & 4;
+    EXPECT_EQ(f.eval(i), (!a && b) || c) << i;
+  }
+  const LogicFn g = parse_bool_expr("A^B&C", abc);
+  for (unsigned i = 0; i < 8; ++i) {
+    const bool a = i & 1, b = i & 2, c = i & 4;
+    EXPECT_EQ(g.eval(i), a != (b && c)) << i;
+  }
+}
+
+TEST(BoolExpr, Constants) {
+  EXPECT_EQ(parse_bool_expr("0", {}), LogicFn::constant(false));
+  EXPECT_EQ(parse_bool_expr("1", {}), LogicFn::constant(true));
+}
+
+TEST(BoolExpr, Aoi32Function) {
+  const std::vector<std::string> in = {"A0", "A1", "A2", "B0", "B1"};
+  const LogicFn f = parse_bool_expr("!((A0&A1&A2)|(B0&B1))", in);
+  for (unsigned i = 0; i < 32; ++i) {
+    const bool a0 = i & 1, a1 = i & 2, a2 = i & 4, b0 = i & 8, b1 = i & 16;
+    EXPECT_EQ(f.eval(i), !((a0 && a1 && a2) || (b0 && b1))) << i;
+  }
+}
+
+TEST(BoolExpr, Errors) {
+  EXPECT_THROW(parse_bool_expr("A&", {"A"}), ParseError);
+  EXPECT_THROW(parse_bool_expr("A&Z", {"A"}), ParseError);
+  EXPECT_THROW(parse_bool_expr("(A", {"A"}), ParseError);
+  EXPECT_THROW(parse_bool_expr("A)", {"A"}), ParseError);
+}
+
+// --- liberty parser -------------------------------------------------------
+
+TEST(Liberty, ParsesMinimalLibrary) {
+  const std::string src = R"(
+    library(mini) {
+      cell(INV) {
+        area : 6.0; width : 1.2; height : 5.0;
+        pin(A) { direction : input; capacitance : 2.0; }
+        pin(Y) { direction : output; function : "!A"; }
+      }
+    }
+  )";
+  const auto lib = parse_liberty(src);
+  EXPECT_EQ(lib->name(), "mini");
+  EXPECT_EQ(lib->size(), 1u);
+  const CellType& inv = lib->cell("INV");
+  EXPECT_EQ(inv.function, LogicFn::inverter());
+  EXPECT_DOUBLE_EQ(inv.area_um2, 6.0);
+  EXPECT_DOUBLE_EQ(inv.pins[0].cap_ff, 2.0);
+}
+
+TEST(Liberty, RejectsMissingFunction) {
+  const std::string src = R"(
+    library(bad) {
+      cell(X) {
+        area : 1; width : 1; height : 1;
+        pin(A) { direction : input; capacitance : 1; }
+        pin(Y) { direction : output; }
+      }
+    }
+  )";
+  EXPECT_THROW(parse_liberty(src), ParseError);
+}
+
+TEST(Liberty, RejectsTwoOutputs) {
+  const std::string src = R"(
+    library(bad) {
+      cell(X) {
+        area : 1; width : 1; height : 1;
+        pin(Y) { direction : output; function : "1"; }
+        pin(Z) { direction : output; function : "0"; }
+      }
+    }
+  )";
+  EXPECT_THROW(parse_liberty(src), Error);
+}
+
+// --- built-in library -----------------------------------------------------
+
+TEST(BuiltinLib, ValidatesAndHasExpectedCells) {
+  const auto lib = builtin_stdcell018();
+  lib->validate();
+  for (const char* name :
+       {"INV", "BUF", "NAND2", "NAND3", "NOR2", "NOR3", "AND2", "AND3", "OR2",
+        "OR3", "XOR2", "XNOR2", "AOI21", "AOI22", "AOI32", "OAI21", "OAI22",
+        "MUX2", "DFF", "TIE0", "TIE1"}) {
+    EXPECT_TRUE(lib->contains(name)) << name;
+  }
+}
+
+TEST(BuiltinLib, FunctionsAreCorrect) {
+  const auto lib = builtin_stdcell018();
+  EXPECT_EQ(lib->cell("INV").function, LogicFn::inverter());
+  EXPECT_EQ(lib->cell("BUF").function, LogicFn::identity());
+  EXPECT_EQ(lib->cell("NAND2").function, LogicFn::nand_n(2));
+  EXPECT_EQ(lib->cell("NOR3").function, LogicFn::nor_n(3));
+  EXPECT_EQ(lib->cell("AND2").function, LogicFn::and_n(2));
+  EXPECT_EQ(lib->cell("OR3").function, LogicFn::or_n(3));
+  EXPECT_EQ(lib->cell("XOR2").function, LogicFn::xor_n(2));
+  EXPECT_EQ(lib->cell("MUX2").function, LogicFn::mux2());
+  // Paper Fig 2 example cell.
+  const CellType& aoi32 = lib->cell("AOI32");
+  EXPECT_EQ(aoi32.n_inputs(), 5);
+  for (unsigned i = 0; i < 32; ++i) {
+    const bool a0 = i & 1, a1 = i & 2, a2 = i & 4, b0 = i & 8, b1 = i & 16;
+    EXPECT_EQ(aoi32.function.eval(i), !((a0 && a1 && a2) || (b0 && b1)));
+  }
+}
+
+TEST(BuiltinLib, FlopAndTies) {
+  const auto lib = builtin_stdcell018();
+  const CellType& dff = lib->cell("DFF");
+  EXPECT_EQ(dff.kind, CellKind::kFlop);
+  EXPECT_GE(dff.d_pin(), 0);
+  EXPECT_GE(dff.ck_pin(), 0);
+  EXPECT_EQ(lib->cell("TIE0").kind, CellKind::kTie);
+  EXPECT_FALSE(lib->cell("TIE0").function.eval(0));
+  EXPECT_TRUE(lib->cell("TIE1").function.eval(0));
+}
+
+TEST(BuiltinLib, GeometryConsistent) {
+  const auto lib = builtin_stdcell018();
+  for (CellTypeId id : lib->all()) {
+    const CellType& c = lib->cell(id);
+    EXPECT_NEAR(c.area_um2, c.width_um * c.height_um, 1e-6) << c.name;
+    EXPECT_DOUBLE_EQ(c.height_um, kRowHeightUm) << c.name;
+  }
+}
+
+TEST(BuiltinLib, WriterRoundTrips) {
+  const auto lib = builtin_stdcell018();
+  const std::string text = write_liberty(*lib);
+  const auto back = parse_liberty(text);
+  EXPECT_EQ(back->size(), lib->size());
+  for (CellTypeId id : lib->all()) {
+    const CellType& a = lib->cell(id);
+    const CellType& b = back->cell(a.name);
+    EXPECT_EQ(a.function, b.function) << a.name;
+    EXPECT_EQ(a.kind, b.kind) << a.name;
+    EXPECT_NEAR(a.area_um2, b.area_um2, 1e-9) << a.name;
+    EXPECT_EQ(a.pins.size(), b.pins.size()) << a.name;
+  }
+}
+
+}  // namespace
+}  // namespace secflow

@@ -1,0 +1,167 @@
+#include "netlist/logic_fn.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+
+namespace secflow {
+namespace {
+
+TEST(LogicFn, Constants) {
+  EXPECT_FALSE(LogicFn::constant(false).eval(0));
+  EXPECT_TRUE(LogicFn::constant(true).eval(0));
+  EXPECT_EQ(LogicFn::constant(true).n_inputs(), 0);
+}
+
+TEST(LogicFn, BufferAndInverter) {
+  const LogicFn buf = LogicFn::identity();
+  const LogicFn inv = LogicFn::inverter();
+  EXPECT_FALSE(buf.eval(0));
+  EXPECT_TRUE(buf.eval(1));
+  EXPECT_TRUE(inv.eval(0));
+  EXPECT_FALSE(inv.eval(1));
+}
+
+TEST(LogicFn, AndOrFamilies) {
+  for (int n = 1; n <= 6; ++n) {
+    const LogicFn a = LogicFn::and_n(n);
+    const LogicFn o = LogicFn::or_n(n);
+    const unsigned rows = 1u << n;
+    for (unsigned i = 0; i < rows; ++i) {
+      EXPECT_EQ(a.eval(i), i == rows - 1) << "AND" << n << " row " << i;
+      EXPECT_EQ(o.eval(i), i != 0) << "OR" << n << " row " << i;
+      EXPECT_EQ(LogicFn::nand_n(n).eval(i), !(i == rows - 1));
+      EXPECT_EQ(LogicFn::nor_n(n).eval(i), !(i != 0));
+    }
+  }
+}
+
+TEST(LogicFn, XorParity) {
+  for (int n = 1; n <= 4; ++n) {
+    const LogicFn x = LogicFn::xor_n(n);
+    for (unsigned i = 0; i < (1u << n); ++i) {
+      EXPECT_EQ(x.eval(i), (__builtin_popcount(i) & 1) != 0);
+      EXPECT_EQ(LogicFn::xnor_n(n).eval(i), (__builtin_popcount(i) & 1) == 0);
+    }
+  }
+}
+
+TEST(LogicFn, Mux2) {
+  const LogicFn m = LogicFn::mux2();
+  // inputs: bit0=d0, bit1=d1, bit2=sel
+  EXPECT_FALSE(m.eval(0b000));
+  EXPECT_TRUE(m.eval(0b001));   // sel=0 -> d0=1
+  EXPECT_FALSE(m.eval(0b010));  // sel=0, d1=1 ignored
+  EXPECT_TRUE(m.eval(0b110));   // sel=1 -> d1=1
+  EXPECT_FALSE(m.eval(0b101));  // sel=1, d1=0
+}
+
+TEST(LogicFn, Complemented) {
+  const LogicFn f = LogicFn::and_n(2);
+  const LogicFn g = f.complemented();
+  for (unsigned i = 0; i < 4; ++i) EXPECT_EQ(g.eval(i), !f.eval(i));
+  EXPECT_EQ(g.complemented(), f);
+}
+
+TEST(LogicFn, DualOfAndIsOr) {
+  EXPECT_EQ(LogicFn::and_n(2).dual(), LogicFn::or_n(2));
+  EXPECT_EQ(LogicFn::or_n(3).dual(), LogicFn::and_n(3));
+  // Even-arity XOR duals to XNOR; odd-arity XOR is self-dual.
+  EXPECT_EQ(LogicFn::xor_n(2).dual(), LogicFn::xnor_n(2));
+  EXPECT_EQ(LogicFn::xor_n(3).dual(), LogicFn::xor_n(3));
+}
+
+TEST(LogicFn, DualIsInvolution) {
+  // Property: dual(dual(f)) == f for arbitrary tables.
+  for (std::uint64_t t = 0; t < 256; ++t) {
+    const LogicFn f(3, t);
+    EXPECT_EQ(f.dual().dual(), f) << "table " << t;
+  }
+}
+
+TEST(LogicFn, DualDefinition) {
+  // Property: f_dual(x) == !f(!x) pointwise.
+  for (std::uint64_t t = 0; t < 256; t += 7) {
+    const LogicFn f(3, t);
+    const LogicFn d = f.dual();
+    for (unsigned x = 0; x < 8; ++x) {
+      EXPECT_EQ(d.eval(x), !f.eval(~x & 7)) << "t=" << t << " x=" << x;
+    }
+  }
+}
+
+TEST(LogicFn, WithInputInverted) {
+  const LogicFn f = LogicFn::and_n(2);
+  const LogicFn g = f.with_input_inverted(0);  // g(a,b) = !a & b
+  EXPECT_FALSE(g.eval(0b11));
+  EXPECT_TRUE(g.eval(0b10));
+  EXPECT_FALSE(g.eval(0b00));
+  // Double inversion restores.
+  EXPECT_EQ(g.with_input_inverted(0), f);
+}
+
+TEST(LogicFn, PositiveUnate) {
+  EXPECT_TRUE(LogicFn::and_n(3).is_positive_unate());
+  EXPECT_TRUE(LogicFn::or_n(2).is_positive_unate());
+  EXPECT_TRUE(LogicFn::identity().is_positive_unate());
+  EXPECT_TRUE(LogicFn::constant(true).is_positive_unate());
+  EXPECT_FALSE(LogicFn::inverter().is_positive_unate());
+  EXPECT_FALSE(LogicFn::nand_n(2).is_positive_unate());
+  EXPECT_FALSE(LogicFn::xor_n(2).is_positive_unate());
+}
+
+TEST(LogicFn, DependsOn) {
+  const LogicFn f = LogicFn::and_n(2);
+  EXPECT_TRUE(f.depends_on(0));
+  EXPECT_TRUE(f.depends_on(1));
+  // f(a,b) = a: does not depend on b.
+  const LogicFn g(2, 0b1010);
+  EXPECT_TRUE(g.depends_on(0));
+  EXPECT_FALSE(g.depends_on(1));
+}
+
+TEST(LogicFn, OnsetSize) {
+  EXPECT_EQ(LogicFn::and_n(2).onset_size(), 1);
+  EXPECT_EQ(LogicFn::or_n(2).onset_size(), 3);
+  EXPECT_EQ(LogicFn::xor_n(3).onset_size(), 4);
+  EXPECT_EQ(LogicFn::constant(false).onset_size(), 0);
+}
+
+TEST(LogicFn, SopString) {
+  EXPECT_EQ(LogicFn::constant(false).to_sop_string({}), "0");
+  EXPECT_EQ(LogicFn::constant(true).to_sop_string({}), "1");
+  EXPECT_EQ(LogicFn::and_n(2).to_sop_string({"A", "B"}), "A&B");
+}
+
+TEST(LogicFn, RejectsTooManyInputs) {
+  EXPECT_THROW(LogicFn(7, 0), Error);
+  EXPECT_THROW(LogicFn(-1, 0), Error);
+}
+
+TEST(LogicFn, TableMasked) {
+  // Bits above 2^n must be ignored.
+  const LogicFn f(1, 0xFF);
+  EXPECT_EQ(f.table(), 0b11u);
+}
+
+// Property sweep: dual() and complemented() commute; both are involutions.
+class LogicFnPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LogicFnPropertyTest, DualComplementCommute) {
+  const LogicFn f(4, GetParam());
+  EXPECT_EQ(f.dual().complemented(), f.complemented().dual());
+}
+
+TEST_P(LogicFnPropertyTest, DualViaComplementAllInputs) {
+  LogicFn g = LogicFn(4, GetParam()).complemented();
+  for (int i = 0; i < 4; ++i) g = g.with_input_inverted(i);
+  EXPECT_EQ(g, LogicFn(4, GetParam()).dual());
+}
+
+INSTANTIATE_TEST_SUITE_P(Tables, LogicFnPropertyTest,
+                         ::testing::Values(0x0000u, 0xFFFFu, 0x8000u, 0x8888u,
+                                           0x6996u, 0xFEE8u, 0x0001u, 0x7FFFu,
+                                           0x5555u, 0x3C3Cu, 0x1248u, 0x9D2Bu));
+
+}  // namespace
+}  // namespace secflow

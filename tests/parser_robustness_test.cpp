@@ -1,0 +1,148 @@
+// Robustness sweep: every text-format parser must reject mutilated input
+// with a clean ParseError/Error — never crash, hang or accept garbage
+// silently.  Each valid document is truncated at every prefix length and
+// mutated at single positions.
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "lef/lef_io.h"
+#include "liberty/builtin_lib.h"
+#include "liberty/liberty_parser.h"
+#include "netlist/verilog_parser.h"
+#include "pnr/def.h"
+#include "synth/hdl.h"
+
+namespace secflow {
+namespace {
+
+const char* kVerilog = R"(
+module top (a, b, y);
+  input a, b;
+  output y;
+  wire n1;
+  NAND2 u1 (.A(a), .B(b), .Y(n1));
+  INV u2 (.A(n1), .Y(y));
+endmodule
+)";
+
+const char* kLiberty = R"(
+library(mini) {
+  cell(INV) {
+    area : 6.0; width : 1.2; height : 5.0;
+    pin(A) { direction : input; capacitance : 2.0; }
+    pin(Y) { direction : output; function : "!A"; }
+  }
+}
+)";
+
+const char* kLef = R"(
+VERSION 5.6 ;
+LAYER M1
+  DIRECTION HORIZONTAL ;
+  PITCH 0.56 ;
+  WIDTH 0.28 ;
+END M1
+MACRO INV
+  SIZE 1.32 BY 5.04 ;
+  PIN A DIRECTION INPUT ORIGIN 0.28 1.12 ;
+  PIN Y DIRECTION OUTPUT ORIGIN 0.56 3.92 ;
+END INV
+END LIBRARY
+)";
+
+const char* kDef = R"(
+DESIGN t ;
+DIEAREA ( 0 0 ) ( 10000 8000 ) ;
+ROWHEIGHT 5040 ;
+TRACKPITCH 560 ;
+COMPONENTS 1 ;
+- u1 INV PLACED ( 560 0 ) ;
+END COMPONENTS
+NETS 1 ;
+- n1
+  ROUTED M1 280 ( 0 0 ) ( 1120 0 )
+  VIA M1 M2 ( 1120 0 )
+  ;
+END NETS
+END DESIGN
+)";
+
+const char* kHdl = R"(
+module m (input clk, input [3:0] a, output [3:0] y);
+  reg [3:0] r;
+  always @(posedge clk) r <= a ^ r;
+  assign y = r;
+endmodule
+)";
+
+/// Parse every strict prefix; each must throw (or, for a few formats,
+/// succeed when the suffix is ignorable) — never crash.
+template <typename Fn>
+void sweep_truncations(const std::string& doc, Fn parse) {
+  for (std::size_t len = 0; len < doc.size(); len += 3) {
+    try {
+      parse(doc.substr(0, len));
+    } catch (const Error&) {
+      // expected for most prefixes
+    }
+  }
+}
+
+/// Mutate single characters; parser must throw or parse, never crash.
+template <typename Fn>
+void sweep_mutations(const std::string& doc, Fn parse) {
+  const char kJunk[] = {'}', '(', ';', 'Z', '0', '\\'};
+  for (std::size_t pos = 0; pos < doc.size(); pos += 7) {
+    for (char j : kJunk) {
+      std::string mutated = doc;
+      mutated[pos] = j;
+      try {
+        parse(mutated);
+      } catch (const Error&) {
+      }
+    }
+  }
+}
+
+TEST(ParserRobustness, Verilog) {
+  const auto lib = builtin_stdcell018();
+  auto parse = [&](const std::string& s) { parse_verilog(s, lib); };
+  sweep_truncations(kVerilog, parse);
+  sweep_mutations(kVerilog, parse);
+}
+
+TEST(ParserRobustness, Liberty) {
+  auto parse = [](const std::string& s) { parse_liberty(s); };
+  sweep_truncations(kLiberty, parse);
+  sweep_mutations(kLiberty, parse);
+}
+
+TEST(ParserRobustness, Lef) {
+  auto parse = [](const std::string& s) { parse_lef(s); };
+  sweep_truncations(kLef, parse);
+  sweep_mutations(kLef, parse);
+}
+
+TEST(ParserRobustness, Def) {
+  auto parse = [](const std::string& s) { parse_def(s); };
+  sweep_truncations(kDef, parse);
+  sweep_mutations(kDef, parse);
+}
+
+TEST(ParserRobustness, Hdl) {
+  auto parse = [](const std::string& s) { parse_hdl(s); };
+  sweep_truncations(kHdl, parse);
+  sweep_mutations(kHdl, parse);
+}
+
+TEST(ParserRobustness, ValidDocumentsStillParse) {
+  const auto lib = builtin_stdcell018();
+  EXPECT_NO_THROW(parse_verilog(kVerilog, lib));
+  EXPECT_NO_THROW(parse_liberty(kLiberty));
+  EXPECT_NO_THROW(parse_lef(kLef));
+  EXPECT_NO_THROW(parse_def(kDef));
+  EXPECT_NO_THROW(parse_hdl(kHdl));
+}
+
+}  // namespace
+}  // namespace secflow

@@ -1,0 +1,110 @@
+#include "wddl/qm.h"
+
+#include "wddl/wddl_library.h"
+
+#include <gtest/gtest.h>
+
+namespace secflow {
+namespace {
+
+TEST(Qm, Constants) {
+  EXPECT_TRUE(minimize_sop(LogicFn::constant(false)).empty());
+  const auto one = minimize_sop(LogicFn::constant(true));
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].mask, 0u);
+}
+
+TEST(Qm, SingleLiteral) {
+  const auto sop = minimize_sop(LogicFn::identity());
+  ASSERT_EQ(sop.size(), 1u);
+  EXPECT_EQ(sop[0].n_literals(), 1);
+  EXPECT_TRUE(sop[0].covers(1));
+  EXPECT_FALSE(sop[0].covers(0));
+
+  const auto inv = minimize_sop(LogicFn::inverter());
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_TRUE(inv[0].covers(0));
+  EXPECT_FALSE(inv[0].covers(1));
+}
+
+TEST(Qm, NandIsTwoNegativeLiterals) {
+  // !(ab) = !a + !b: two cubes of one literal each.
+  const auto sop = minimize_sop(LogicFn::nand_n(2));
+  EXPECT_EQ(sop.size(), 2u);
+  EXPECT_EQ(sop_literals(sop), 2);
+}
+
+TEST(Qm, AndIsOneCube) {
+  const auto sop = minimize_sop(LogicFn::and_n(3));
+  ASSERT_EQ(sop.size(), 1u);
+  EXPECT_EQ(sop[0].n_literals(), 3);
+}
+
+TEST(Qm, XorNeedsTwoCubes) {
+  const auto sop = minimize_sop(LogicFn::xor_n(2));
+  EXPECT_EQ(sop.size(), 2u);
+  EXPECT_EQ(sop_literals(sop), 4);
+}
+
+TEST(Qm, Aoi32Complement) {
+  // !AOI32 = A0 A1 A2 + B0 B1: exactly the AND-OR structure of Fig 2.
+  const std::vector<std::string> in = {"A0", "A1", "A2", "B0", "B1"};
+  LogicFn aoi(5, 0);
+  {
+    std::uint64_t t = 0;
+    for (unsigned i = 0; i < 32; ++i) {
+      const bool a = (i & 1) && (i & 2) && (i & 4);
+      const bool b = (i & 8) && (i & 16);
+      if (!(a || b)) t |= std::uint64_t{1} << i;
+    }
+    aoi = LogicFn(5, t);
+  }
+  const auto on = minimize_sop(aoi.complemented());
+  ASSERT_EQ(on.size(), 2u);
+  EXPECT_EQ(sop_literals(on), 5);
+}
+
+// Property: for every 3- and 4-input table, the minimized SOP equals the
+// function and never exceeds the canonical minterm expansion in size.
+class QmSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QmSweepTest, CoverIsExactAndNoWorseThanMinterms) {
+  const int n = GetParam();
+  const unsigned rows = 1u << n;
+  // Deterministic pseudo-random subset of tables plus structured ones.
+  std::vector<std::uint64_t> tables = {0x1, 0x80, 0x96, 0xE8, 0x7F, 0xFE};
+  std::uint64_t x = 0x12345678;
+  for (int i = 0; i < 40; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    tables.push_back(x & ((rows >= 64) ? ~0ull : ((1ull << rows) - 1)));
+  }
+  for (std::uint64_t t : tables) {
+    const LogicFn f(n, t);
+    const auto sop = minimize_sop(f);
+    int minterms = 0;
+    for (unsigned r = 0; r < rows; ++r) {
+      EXPECT_EQ(eval_sop(sop, r), f.eval(r)) << "table " << t << " row " << r;
+      if (f.eval(r)) ++minterms;
+    }
+    EXPECT_LE(static_cast<int>(sop.size()), std::max(minterms, 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QmSweepTest, ::testing::Values(2, 3, 4, 5));
+
+TEST(Qm, ReductionTreePlan) {
+  EXPECT_TRUE(plan_reduction_tree(0).empty());
+  EXPECT_TRUE(plan_reduction_tree(1).empty());
+  EXPECT_EQ(plan_reduction_tree(2), (std::vector<int>{2}));
+  EXPECT_EQ(plan_reduction_tree(3), (std::vector<int>{3}));
+  EXPECT_EQ(plan_reduction_tree(4), (std::vector<int>{2, 3}));
+  // Every plan reduces n operands to exactly one.
+  for (int n = 2; n <= 12; ++n) {
+    int count = n;
+    for (int arity : plan_reduction_tree(n)) count += 1 - arity;
+    EXPECT_EQ(count, 1) << n;
+  }
+}
+
+}  // namespace
+}  // namespace secflow

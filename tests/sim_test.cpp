@@ -1,0 +1,248 @@
+#include "sim/power_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "liberty/builtin_lib.h"
+#include "netlist/netlist_ops.h"
+#include "synth/hdl.h"
+#include "synth/techmap.h"
+#include "wddl/cell_substitution.h"
+#include "wddl/wddl_library.h"
+
+namespace secflow {
+namespace {
+
+double trace_charge_fc(const CycleTrace& t, double dt_ps) {
+  double q = 0.0;
+  for (double i : t.current_ma) q += i * dt_ps;
+  return q;
+}
+
+class SimTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const CellLibrary> lib_ = builtin_stdcell018();
+
+  Netlist map_hdl(const std::string& src) {
+    return technology_map(parse_hdl(src), lib_);
+  }
+};
+
+TEST_F(SimTest, QuietCircuitDrawsNothing) {
+  const Netlist nl = map_hdl(R"(
+    module m (input a, output y);
+      assign y = ~a;
+    endmodule)");
+  PowerSimulator sim(nl, {});
+  sim.set_input("a", false);
+  sim.settle();
+  const CycleTrace t = sim.run_cycle();
+  // Inputs unchanged: zero transitions, zero energy.
+  EXPECT_EQ(t.transitions, 0);
+  EXPECT_DOUBLE_EQ(t.energy_pj, 0.0);
+  EXPECT_DOUBLE_EQ(t.peak_ma(), 0.0);
+}
+
+TEST_F(SimTest, RisingTransitionBooksCharge) {
+  const Netlist nl = map_hdl(R"(
+    module m (input a, output y);
+      assign y = a;
+    endmodule)");
+  CapTable caps;
+  caps["a"] = 10.0;
+  PowerSimulator sim(nl, caps);
+  sim.set_input("a", false);
+  sim.settle();
+  sim.set_input("a", true);
+  const CycleTrace t = sim.run_cycle();
+  EXPECT_GT(t.transitions, 0);
+  EXPECT_GT(t.energy_pj, 0.0);
+  // Sampled charge equals booked energy / VDD (pulse fully inside cycle).
+  const PowerSimOptions opts;
+  const double q_fc = trace_charge_fc(t, opts.sampling.sample_dt_s() * 1e12);
+  EXPECT_NEAR(q_fc * opts.process.vdd_v * 1e-3, t.energy_pj,
+              t.energy_pj * 0.02);
+}
+
+TEST_F(SimTest, FallingTransitionDrawsNoSupplyCharge) {
+  const Netlist nl = map_hdl(R"(
+    module m (input a, output y);
+      assign y = a;
+    endmodule)");
+  PowerSimulator sim(nl, {});
+  sim.set_input("a", true);
+  sim.settle();
+  sim.set_input("a", false);
+  const CycleTrace t = sim.run_cycle();
+  EXPECT_GT(t.transitions, 0);       // nets did switch...
+  EXPECT_DOUBLE_EQ(t.energy_pj, 0.0);  // ...but discharge is not supply current
+}
+
+TEST_F(SimTest, EnergyScalesWithCapacitance) {
+  const Netlist nl = map_hdl(R"(
+    module m (input a, output y);
+      assign y = a;
+    endmodule)");
+  auto energy_with = [&](double cap) {
+    CapTable caps;
+    caps["a"] = cap;
+    caps["y"] = cap;
+    // Port nets and internal nets all present; BUF output net named y.
+    PowerSimulator sim(nl, caps);
+    sim.set_input("a", false);
+    sim.settle();
+    sim.set_input("a", true);
+    return sim.run_cycle().energy_pj;
+  };
+  const double e1 = energy_with(5.0);
+  const double e2 = energy_with(50.0);
+  EXPECT_GT(e2, e1 * 3);
+}
+
+TEST_F(SimTest, HammingDistanceDependence) {
+  // 4-bit register: energy grows with the number of bits flipping.
+  const Netlist nl = map_hdl(R"(
+    module m (input clk, input [3:0] d, output [3:0] q);
+      reg [3:0] r;
+      always @(posedge clk) r <= d;
+      assign q = r;
+    endmodule)");
+  PowerSimulator sim(nl, {});
+  // Inputs arrive mid-cycle, so the register captures the value driven in
+  // the *previous* run_cycle call.
+  auto load = [&](unsigned v) {
+    for (int i = 0; i < 4; ++i) {
+      sim.set_input("d_" + std::to_string(i), (v >> i) & 1);
+    }
+    return sim.run_cycle();
+  };
+  load(0);
+  load(0);
+  const double e0 = load(0).energy_pj;      // register stays at 0000
+  load(0b0001);
+  const double e1 = load(0b1111).energy_pj;  // loads 0001: one bit rises
+  const double e4 = load(0).energy_pj;       // loads 1111: three more rise
+  EXPECT_GT(e1, e0);
+  EXPECT_GT(e4, e1);
+}
+
+TEST_F(SimTest, TimedOutputsMatchFunctionalSim) {
+  const std::string src = R"(
+    module m (input clk, input [2:0] d, output [2:0] q);
+      reg [2:0] r;
+      always @(posedge clk) r <= d ^ r;
+      assign q = r;
+    endmodule)";
+  const Netlist nl = map_hdl(src);
+  PowerSimulator psim(nl, {});
+  FunctionalSim fsim(nl);
+  fsim.propagate();
+  unsigned vals[] = {3, 5, 7, 1, 0, 6, 2, 4};
+  for (unsigned v : vals) {
+    for (int i = 0; i < 3; ++i) {
+      psim.set_input("d_" + std::to_string(i), (v >> i) & 1);
+      fsim.set_input("d_" + std::to_string(i), (v >> i) & 1);
+    }
+    psim.run_cycle();
+    // Functional sim: capture happens at the *next* edge, so propagate
+    // first, then step; power sim inputs arrive after its capture.  Align
+    // by stepping the functional sim one cycle behind.
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(psim.output("q_" + std::to_string(i)),
+                fsim.output("q_" + std::to_string(i)))
+          << "value " << v;
+    }
+    fsim.propagate();
+    fsim.step_clock();
+  }
+}
+
+TEST_F(SimTest, WddlCycleHasConstantSwitchingCount) {
+  // The 100% switching factor: the number of transitions per WDDL cycle is
+  // data-independent (every rail pair switches exactly twice).
+  const Netlist rtl = map_hdl(R"(
+    module m (input a, input b, input c, output y);
+      assign y = (a ^ b) | (b & c);
+    endmodule)");
+  WddlLibrary wlib(lib_);
+  const SubstitutionResult sub = substitute_cells(rtl, wlib);
+  const Netlist diff = expand_differential(sub.fat, wlib);
+
+  PowerSimOptions opts;
+  opts.precharge_inputs = true;
+  PowerSimulator sim(diff, {}, opts);
+  // Drive a first cycle to leave the all-zero power-up state.
+  auto drive = [&](unsigned v) {
+    const char* names[] = {"a", "b", "c"};
+    for (int i = 0; i < 3; ++i) {
+      sim.set_input(std::string(names[i]) + "_t", (v >> i) & 1);
+      sim.set_input(std::string(names[i]) + "_f", !((v >> i) & 1));
+    }
+    return sim.run_cycle();
+  };
+  drive(0b000);
+  std::vector<int> counts;
+  std::vector<double> energies;
+  for (unsigned v = 0; v < 8; ++v) {
+    const CycleTrace t = drive(v);
+    counts.push_back(t.transitions);
+    energies.push_back(t.energy_pj);
+  }
+  // Every output rail pair switches exactly once per phase (tested
+  // exhaustively in wddl_test); the *total* count varies only by the
+  // internal product nets of multi-cube compounds, so it stays in a
+  // narrow band — unlike a CMOS design, where it can drop to zero.
+  const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*lo, 0);
+  EXPECT_LT(*hi - *lo, *hi / 2);
+  // With the pin-cap fallback (no routed wires) the internal product-net
+  // asymmetry is relatively large; the extracted-cap case is checked at
+  // the flow level (flow_test), where NSD drops below 1%.
+  const auto stats = compute_energy_stats(energies);
+  EXPECT_LT(stats.nsd, 0.15);
+}
+
+TEST_F(SimTest, GlitchPeriodTruncatesEvaluation) {
+  // With a very short cycle, a deep cone cannot settle before the capture
+  // edge: the register captures a stale value.
+  const Netlist nl = map_hdl(R"(
+    module m (input clk, input [3:0] a, output y);
+      reg r;
+      always @(posedge clk) r <= (a[0] ^ a[1]) ^ (a[2] ^ a[3]);
+      assign y = r;
+    endmodule)");
+  PowerSimulator slow(nl, {});
+  PowerSimulator fast(nl, {});
+  for (int i = 0; i < 4; ++i) {
+    slow.set_input("a_" + std::to_string(i), true);
+    fast.set_input("a_" + std::to_string(i), true);
+  }
+  // a = 1111 -> parity 0; then a = 0111 -> parity 1.
+  slow.run_cycle();
+  fast.run_cycle();
+  slow.set_input("a_3", false);
+  fast.set_input("a_3", false);
+  slow.run_cycle();
+  fast.run_cycle(200.0);  // 200 ps: shorter than the XOR tree delay
+  // One more edge captures the (settled vs truncated) values.
+  slow.run_cycle();
+  fast.run_cycle(200.0);
+  EXPECT_TRUE(slow.output("y"));
+  EXPECT_FALSE(fast.output("y"));
+}
+
+TEST(EnergyStatsTest, Formulas) {
+  const EnergyStats s = compute_energy_stats({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.mean_pj, 2.0);
+  EXPECT_DOUBLE_EQ(s.min_pj, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_pj, 3.0);
+  EXPECT_DOUBLE_EQ(s.ned, 1.0);
+  EXPECT_NEAR(s.nsd, 0.40824829, 1e-6);
+  const EnergyStats z = compute_energy_stats({});
+  EXPECT_DOUBLE_EQ(z.mean_pj, 0.0);
+}
+
+}  // namespace
+}  // namespace secflow

@@ -1,0 +1,415 @@
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "base/rng.h"
+#include "liberty/builtin_lib.h"
+#include "netlist/netlist_ops.h"
+#include "synth/hdl.h"
+#include "synth/techmap.h"
+#include "wddl/cell_substitution.h"
+#include "wddl/wddl_library.h"
+
+namespace secflow {
+namespace {
+
+class WddlTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const CellLibrary> base_ = builtin_stdcell018();
+  WddlLibrary wlib_{base_};
+
+  Netlist map_hdl(const std::string& src) {
+    return technology_map(parse_hdl(src), base_);
+  }
+};
+
+// --- compound generation ---------------------------------------------------
+
+TEST_F(WddlTest, Nand2CompoundIsOr2PlusAnd2) {
+  const WddlCompound& c = wlib_.compound_for_cell(base_->cell("NAND2"), 0);
+  EXPECT_EQ(c.name, "WDDL_NAND2");
+  // True half: !a + !b = OR2 of false rails; false half: ab = AND2.
+  EXPECT_EQ(c.primitives.at("OR2"), 1);
+  EXPECT_EQ(c.primitives.at("AND2"), 1);
+  EXPECT_NEAR(c.area_um2,
+              base_->cell("OR2").area_um2 + base_->cell("AND2").area_um2,
+              1e-9);
+}
+
+TEST_F(WddlTest, And2CompoundMirrorsNand2Cost) {
+  const WddlCompound& c = wlib_.compound_for_cell(base_->cell("AND2"), 0);
+  EXPECT_EQ(c.primitives.at("AND2"), 1);
+  EXPECT_EQ(c.primitives.at("OR2"), 1);
+}
+
+TEST_F(WddlTest, Aoi32CompoundMatchesFig2Structure) {
+  // Fig 2: each half is an AND-AND-OR network over 5 rails.
+  const WddlCompound& c = wlib_.compound_for_cell(base_->cell("AOI32"), 0);
+  // False half = A0A1A2 + B0B1: one AND3, one AND2, one OR2.
+  // True half = SOP of the AOI function itself.
+  EXPECT_GE(c.primitives.at("AND3"), 1);
+  EXPECT_GE(c.primitives.at("AND2"), 1);
+  EXPECT_GE(c.primitives.at("OR2"), 1);
+  EXPECT_GT(c.area_um2, base_->cell("AOI32").area_um2);
+}
+
+TEST_F(WddlTest, PhaseMaskChangesFunction) {
+  const WddlCompound& plain = wlib_.compound_for_cell(base_->cell("AND2"), 0);
+  const WddlCompound& n1 = wlib_.compound_for_cell(base_->cell("AND2"), 1);
+  EXPECT_NE(plain.function, n1.function);
+  // AND2 with input 0 inverted computes !a & b.
+  EXPECT_TRUE(n1.function.eval(0b10));
+  EXPECT_FALSE(n1.function.eval(0b11));
+  EXPECT_EQ(n1.name, "WDDL_AND2_N1");
+}
+
+TEST_F(WddlTest, CompoundsDedupeByFunction) {
+  // XOR2 with one swapped input == XNOR2: one compound, two requests.
+  const WddlCompound& a = wlib_.compound_for_cell(base_->cell("XOR2"), 1);
+  const WddlCompound& b = wlib_.compound_for_cell(base_->cell("XNOR2"), 0);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(WddlTest, BothHalvesArePositiveUnate) {
+  // Core WDDL invariant: compounds are positive monotone in the rails, so
+  // the all-zero precharge wave propagates.  Verified structurally: cubes
+  // only reference rails positively (by construction) — and functionally
+  // via the SOP over rails.
+  wlib_.generate_full_inventory();
+  for (const WddlCompound* c : wlib_.all()) {
+    if (c->kind != WddlKind::kComb) continue;
+    // All-rails-zero evaluates both halves to 0: with every rail at 0,
+    // every cube's AND is 0 (cubes are non-empty).
+    for (const Cube& cube : c->true_sop) EXPECT_GT(cube.n_literals(), 0);
+    for (const Cube& cube : c->false_sop) EXPECT_GT(cube.n_literals(), 0);
+    // Halves are complementary on valid differential inputs.
+    const int n = c->function.n_inputs();
+    for (unsigned r = 0; r < (1u << n); ++r) {
+      EXPECT_EQ(eval_sop(c->true_sop, r), c->function.eval(r));
+      EXPECT_EQ(eval_sop(c->false_sop, r), !c->function.eval(r));
+    }
+  }
+}
+
+TEST_F(WddlTest, FullInventoryIsPaperScale) {
+  const int n = wlib_.generate_full_inventory();
+  // The paper's library has 128 compounds; ours enumerates all phase
+  // variants of the base set, deduplicated by function — same order of
+  // magnitude, and strictly more than the base cell count.
+  EXPECT_GT(n, 80);
+  EXPECT_LT(n, 400);
+  EXPECT_EQ(static_cast<std::size_t>(n), wlib_.fat_library()->size());
+}
+
+TEST_F(WddlTest, FatCellsAreConsistent) {
+  wlib_.generate_full_inventory();
+  const auto fat = wlib_.fat_library();
+  fat->validate();
+  for (const WddlCompound* c : wlib_.all()) {
+    const CellType& cell = fat->cell(c->fat_cell);
+    EXPECT_EQ(cell.name, c->name);
+    EXPECT_NEAR(cell.area_um2, c->area_um2, 1e-9);
+    EXPECT_EQ(&wlib_.compound_of(c->fat_cell), c);
+  }
+}
+
+TEST_F(WddlTest, FlopCompoundPrimitives) {
+  const WddlCompound& c = wlib_.flop_compound(false);
+  EXPECT_EQ(c.primitives.at("DFFN"), 2);
+  EXPECT_EQ(c.primitives.at("DFF"), 2);
+  EXPECT_EQ(c.primitives.at("AND2"), 2);
+  const WddlCompound& n = wlib_.flop_compound(true);
+  EXPECT_EQ(n.function, LogicFn::inverter());
+  EXPECT_NE(&c, &n);
+}
+
+// --- cell substitution -------------------------------------------------------
+
+TEST_F(WddlTest, SubstitutionRemovesInverters) {
+  const Netlist rtl = map_hdl(R"(
+    module m (input a, input b, output y);
+      assign y = ~(a & ~b);
+    endmodule
+  )");
+  SubstitutionResult res = substitute_cells(rtl, wlib_);
+  EXPECT_GE(res.stats.inverters_removed + res.stats.buffers_removed, 1);
+  for (InstId id : res.fat.instance_ids()) {
+    const CellType& c = res.fat.cell_of(id);
+    EXPECT_NE(c.function, LogicFn::inverter()) << c.name;
+  }
+  res.fat.validate();
+}
+
+TEST_F(WddlTest, FatNetlistIsLogicallyEquivalent) {
+  const std::string src = R"(
+    module m (input a, input b, input c, output y, output z);
+      wire t;
+      assign t = ~(a ^ b);
+      assign y = t | ~c;
+      assign z = ~(t & c);
+    endmodule
+  )";
+  const Netlist rtl = map_hdl(src);
+  SubstitutionResult res = substitute_cells(rtl, wlib_);
+
+  FunctionalSim ref(rtl), fat(res.fat);
+  for (unsigned i = 0; i < 8; ++i) {
+    for (auto* s : {&ref, &fat}) {
+      s->set_input("a", i & 1);
+      s->set_input("b", i & 2);
+      s->set_input("c", i & 4);
+      s->propagate();
+    }
+    EXPECT_EQ(fat.output("y"), ref.output("y")) << i;
+    EXPECT_EQ(fat.output("z"), ref.output("z")) << i;
+  }
+}
+
+TEST_F(WddlTest, SequentialSubstitution) {
+  const Netlist rtl = map_hdl(R"(
+    module m (input clk, input d, output q);
+      reg r;
+      always @(posedge clk) r <= d ^ r;
+      assign q = r;
+    endmodule
+  )");
+  SubstitutionResult res = substitute_cells(rtl, wlib_);
+  EXPECT_EQ(res.stats.flops_substituted, 1);
+  EXPECT_EQ(res.fat.count_kind(CellKind::kFlop), 1);
+  EXPECT_TRUE(res.fat.find_port("clk").valid());
+}
+
+TEST_F(WddlTest, RejectsClockAsData) {
+  Netlist rtl("bad", base_);
+  const NetId ck = rtl.add_net("ck");
+  const NetId d = rtl.add_net("d");
+  const NetId q = rtl.add_net("q");
+  const NetId y = rtl.add_net("y");
+  rtl.add_port("ck", PinDir::kInput, ck);
+  rtl.add_port("d", PinDir::kInput, d);
+  rtl.add_port("y", PinDir::kOutput, y);
+  add_flop(rtl, "DFF", "r", d, ck, q);
+  add_gate(rtl, "AND2", "g", {q, ck}, y);
+  EXPECT_THROW(substitute_cells(rtl, wlib_), Error);
+}
+
+// --- differential expansion ---------------------------------------------------
+
+class WddlDiffTest : public WddlTest {
+ protected:
+  /// Drive the differential sim through one full WDDL clock cycle that
+  /// evaluates with the given single-ended input values.  Entry invariant:
+  /// the previous evaluate phase (or the initial state) is settled.
+  /// Returns with the new evaluate phase settled (clock high).
+  static void wddl_cycle(FunctionalSim& sim,
+                         const std::vector<std::pair<std::string, bool>>& ins) {
+    // Falling edge: masters capture the (still valid) evaluate rails.
+    sim.step_edge(false);
+    // Precharge phase: clock low, all inputs (0,0) — the wave of zeros.
+    sim.set_input("clk", false);
+    for (const auto& [name, v] : ins) {
+      (void)v;
+      sim.set_input(name + "_t", false);
+      sim.set_input(name + "_f", false);
+    }
+    sim.propagate();
+    // Rising edge: slaves take over the captured state.
+    sim.step_edge(true);
+    // Evaluate phase: clock high, inputs differential.
+    sim.set_input("clk", true);
+    for (const auto& [name, v] : ins) {
+      sim.set_input(name + "_t", v);
+      sim.set_input(name + "_f", !v);
+    }
+    sim.propagate();
+  }
+
+  /// WDDL registers power up in the invalid (0,0) rail state; initialize
+  /// every false-rail master/slave to 1 so all registers hold a valid
+  /// differential 0 (matching a reset, which the paper's test circuit
+  /// does not need because its registers have no feedback), then settle an
+  /// initial evaluate phase — wddl_cycle's entry invariant.
+  static void init_wddl_state(
+      FunctionalSim& sim, const Netlist& diff,
+      const std::vector<std::pair<std::string, bool>>& ins) {
+    for (InstId id : diff.instance_ids()) {
+      if (diff.cell_of(id).kind != CellKind::kFlop) continue;
+      const std::string& name = diff.instance(id).name;
+      if (name.ends_with("_f_mst") || name.ends_with("_f_slv")) {
+        sim.set_flop_state(id, true);
+      }
+    }
+    sim.set_input("clk", true);
+    for (const auto& [name, v] : ins) {
+      sim.set_input(name + "_t", v);
+      sim.set_input(name + "_f", !v);
+    }
+    sim.propagate();
+  }
+};
+
+TEST_F(WddlDiffTest, CombinationalRailsAreComplementary) {
+  const Netlist rtl = map_hdl(R"(
+    module m (input a, input b, input c, output y);
+      assign y = ~((a & b) | (b ^ c));
+    endmodule
+  )");
+  SubstitutionResult res = substitute_cells(rtl, wlib_);
+  const Netlist diff = expand_differential(res.fat, wlib_);
+  diff.validate();
+
+  FunctionalSim ref(rtl);
+  FunctionalSim sim(diff);
+  for (unsigned i = 0; i < 8; ++i) {
+    const bool a = i & 1, b = i & 2, c = i & 4;
+    ref.set_input("a", a);
+    ref.set_input("b", b);
+    ref.set_input("c", c);
+    ref.propagate();
+    for (const auto& [n, v] : std::vector<std::pair<std::string, bool>>{
+             {"a", a}, {"b", b}, {"c", c}}) {
+      sim.set_input(n + "_t", v);
+      sim.set_input(n + "_f", !v);
+    }
+    sim.propagate();
+    EXPECT_EQ(sim.output("y_t"), ref.output("y")) << i;
+    EXPECT_EQ(sim.output("y_f"), !ref.output("y")) << i;
+  }
+}
+
+TEST_F(WddlDiffTest, PrechargeWavePropagates) {
+  // All-zero inputs must drive every rail net to 0 (flop states 0).
+  const Netlist rtl = map_hdl(R"(
+    module m (input a, input b, input c, input d, output y);
+      assign y = ~((a ^ b) & (c | ~d));
+    endmodule
+  )");
+  SubstitutionResult res = substitute_cells(rtl, wlib_);
+  const Netlist diff = expand_differential(res.fat, wlib_);
+
+  FunctionalSim sim(diff);
+  for (const char* n : {"a", "b", "c", "d"}) {
+    sim.set_input(std::string(n) + "_t", false);
+    sim.set_input(std::string(n) + "_f", false);
+  }
+  sim.propagate();
+  for (NetId id : diff.net_ids()) {
+    EXPECT_FALSE(sim.net_value(id)) << diff.net(id).name;
+  }
+}
+
+TEST_F(WddlDiffTest, ExactlyOneRailSwitchesPerEvaluation) {
+  // The 100%-switching-factor property: from the precharged state, the
+  // evaluation phase switches exactly one rail of every differential pair.
+  const Netlist rtl = map_hdl(R"(
+    module m (input a, input b, input c, output y);
+      assign y = (a & b) ^ c;
+    endmodule
+  )");
+  SubstitutionResult res = substitute_cells(rtl, wlib_);
+  const Netlist diff = expand_differential(res.fat, wlib_);
+  FunctionalSim sim(diff);
+
+  Rng rng(17);
+  for (int trial = 0; trial < 16; ++trial) {
+    // Precharge.
+    for (const char* n : {"a", "b", "c"}) {
+      sim.set_input(std::string(n) + "_t", false);
+      sim.set_input(std::string(n) + "_f", false);
+    }
+    sim.propagate();
+    std::vector<bool> pre(diff.n_nets());
+    for (NetId id : diff.net_ids()) pre[id.index()] = sim.net_value(id);
+    // Evaluate with random inputs.
+    for (const char* n : {"a", "b", "c"}) {
+      const bool v = rng.next_bool();
+      sim.set_input(std::string(n) + "_t", v);
+      sim.set_input(std::string(n) + "_f", !v);
+    }
+    sim.propagate();
+    // Each rail pair: exactly one of (t, f) rose from 0.
+    for (NetId id : diff.net_ids()) {
+      const std::string& name = diff.net(id).name;
+      if (name.size() < 2 || name.substr(name.size() - 2) != "_t") continue;
+      const NetId f = diff.find_net(name.substr(0, name.size() - 2) + "_f");
+      if (!f.valid()) continue;
+      EXPECT_FALSE(pre[id.index()]);
+      EXPECT_FALSE(pre[f.index()]);
+      EXPECT_NE(sim.net_value(id), sim.net_value(f)) << name;
+    }
+  }
+}
+
+TEST_F(WddlDiffTest, SequentialDifferentialMatchesReference) {
+  const std::string src = R"(
+    module m (input clk, input [1:0] d, output [1:0] q);
+      reg [1:0] r;
+      always @(posedge clk) r <= d ^ r;
+      assign q = r;
+    endmodule
+  )";
+  const Netlist rtl = map_hdl(src);
+  SubstitutionResult res = substitute_cells(rtl, wlib_);
+  const Netlist diff = expand_differential(res.fat, wlib_);
+  diff.validate();
+
+  FunctionalSim ref(rtl);
+  ref.propagate();
+  FunctionalSim sim(diff);
+  init_wddl_state(sim, diff, {{"d_0", false}, {"d_1", false}});
+  Rng rng(3);
+  // The initial evaluate phase carries d=0; keep the reference in step.
+  ref.set_input("d_0", false);
+  ref.set_input("d_1", false);
+  ref.propagate();
+  ref.step_clock();
+  wddl_cycle(sim, {{"d_0", false}, {"d_1", false}});
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    const bool d0 = rng.next_bool();
+    const bool d1 = rng.next_bool();
+    // WDDL evaluates data for this cycle; its registers expose the state
+    // captured at the end of the previous evaluate phase — the same state
+    // the (not yet stepped) reference shows.
+    wddl_cycle(sim, {{"d_0", d0}, {"d_1", d1}});
+    EXPECT_EQ(sim.output("q_0_t"), ref.output("q_0")) << cycle;
+    EXPECT_EQ(sim.output("q_0_f"), !ref.output("q_0")) << cycle;
+    EXPECT_EQ(sim.output("q_1_t"), ref.output("q_1")) << cycle;
+    EXPECT_EQ(sim.output("q_1_f"), !ref.output("q_1")) << cycle;
+    ref.set_input("d_0", d0);
+    ref.set_input("d_1", d1);
+    ref.propagate();
+    ref.step_clock();
+  }
+}
+
+TEST_F(WddlDiffTest, TieCompoundsArePrechargeConsistent) {
+  Netlist rtl("ties", base_);
+  const NetId one = rtl.add_net("one");
+  const NetId a = rtl.add_net("a");
+  const NetId y = rtl.add_net("y");
+  rtl.add_port("a", PinDir::kInput, a);
+  rtl.add_port("y", PinDir::kOutput, y);
+  add_gate(rtl, "TIE1", "t1", {}, one);
+  add_gate(rtl, "OR2", "g", {a, one}, y);
+  SubstitutionResult res = substitute_cells(rtl, wlib_);
+  const Netlist diff = expand_differential(res.fat, wlib_);
+
+  FunctionalSim sim(diff);
+  // Precharge: clock low, inputs (0,0) -> everything 0, even with the tie.
+  sim.set_input("clk", false);
+  sim.set_input("a_t", false);
+  sim.set_input("a_f", false);
+  sim.propagate();
+  for (NetId id : diff.net_ids()) {
+    EXPECT_FALSE(sim.net_value(id)) << diff.net(id).name;
+  }
+  // Evaluate: tie presents 1, OR output true rail rises.
+  sim.set_input("clk", true);
+  sim.set_input("a_t", false);
+  sim.set_input("a_f", true);
+  sim.propagate();
+  EXPECT_TRUE(sim.output("y_t"));
+  EXPECT_FALSE(sim.output("y_f"));
+}
+
+}  // namespace
+}  // namespace secflow
