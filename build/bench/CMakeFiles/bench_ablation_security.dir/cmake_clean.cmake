@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_security.dir/bench_ablation_security.cpp.o"
+  "CMakeFiles/bench_ablation_security.dir/bench_ablation_security.cpp.o.d"
+  "bench_ablation_security"
+  "bench_ablation_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

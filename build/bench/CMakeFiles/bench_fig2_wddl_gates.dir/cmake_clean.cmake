@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_wddl_gates.dir/bench_fig2_wddl_gates.cpp.o"
+  "CMakeFiles/bench_fig2_wddl_gates.dir/bench_fig2_wddl_gates.cpp.o.d"
+  "bench_fig2_wddl_gates"
+  "bench_fig2_wddl_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_wddl_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

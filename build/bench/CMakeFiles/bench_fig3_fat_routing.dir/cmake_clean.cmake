@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fat_routing.dir/bench_fig3_fat_routing.cpp.o"
+  "CMakeFiles/bench_fig3_fat_routing.dir/bench_fig3_fat_routing.cpp.o.d"
+  "bench_fig3_fat_routing"
+  "bench_fig3_fat_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fat_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_area.dir/bench_fig5_area.cpp.o"
+  "CMakeFiles/bench_fig5_area.dir/bench_fig5_area.cpp.o.d"
+  "bench_fig5_area"
+  "bench_fig5_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_dpa.dir/bench_fig6_dpa.cpp.o"
+  "CMakeFiles/bench_fig6_dpa.dir/bench_fig6_dpa.cpp.o.d"
+  "bench_fig6_dpa"
+  "bench_fig6_dpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_dpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

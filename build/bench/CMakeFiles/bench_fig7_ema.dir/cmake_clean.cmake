@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ema.dir/bench_fig7_ema.cpp.o"
+  "CMakeFiles/bench_fig7_ema.dir/bench_fig7_ema.cpp.o.d"
+  "bench_fig7_ema"
+  "bench_fig7_ema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flow_stages.dir/bench_flow_stages.cpp.o"
+  "CMakeFiles/bench_flow_stages.dir/bench_flow_stages.cpp.o.d"
+  "bench_flow_stages"
+  "bench_flow_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flow_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

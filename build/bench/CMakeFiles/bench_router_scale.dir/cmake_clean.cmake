@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_router_scale.dir/bench_router_scale.cpp.o"
+  "CMakeFiles/bench_router_scale.dir/bench_router_scale.cpp.o.d"
+  "bench_router_scale"
+  "bench_router_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_router_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec41_timing.dir/bench_sec41_timing.cpp.o"
+  "CMakeFiles/bench_sec41_timing.dir/bench_sec41_timing.cpp.o.d"
+  "bench_sec41_timing"
+  "bench_sec41_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec41_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

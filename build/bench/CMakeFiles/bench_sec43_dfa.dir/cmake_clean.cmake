@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec43_dfa.dir/bench_sec43_dfa.cpp.o"
+  "CMakeFiles/bench_sec43_dfa.dir/bench_sec43_dfa.cpp.o.d"
+  "bench_sec43_dfa"
+  "bench_sec43_dfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_dfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_energy.dir/bench_tab_energy.cpp.o"
+  "CMakeFiles/bench_tab_energy.dir/bench_tab_energy.cpp.o.d"
+  "bench_tab_energy"
+  "bench_tab_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

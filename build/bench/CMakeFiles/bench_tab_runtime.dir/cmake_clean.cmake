@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_runtime.dir/bench_tab_runtime.cpp.o"
+  "CMakeFiles/bench_tab_runtime.dir/bench_tab_runtime.cpp.o.d"
+  "bench_tab_runtime"
+  "bench_tab_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_cipher.dir/custom_cipher.cpp.o"
+  "CMakeFiles/custom_cipher.dir/custom_cipher.cpp.o.d"
+  "custom_cipher"
+  "custom_cipher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_cipher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpa_attack.dir/dpa_attack.cpp.o"
+  "CMakeFiles/dpa_attack.dir/dpa_attack.cpp.o.d"
+  "dpa_attack"
+  "dpa_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpa_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

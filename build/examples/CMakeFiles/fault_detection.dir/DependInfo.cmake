@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fault_detection.cpp" "examples/CMakeFiles/fault_detection.dir/fault_detection.cpp.o" "gcc" "examples/CMakeFiles/fault_detection.dir/fault_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/secflow_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/secflow_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sca/CMakeFiles/secflow_sca.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/secflow_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/secflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/secflow_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/pnr/CMakeFiles/secflow_pnr.dir/DependInfo.cmake"
+  "/root/repo/build/src/lec/CMakeFiles/secflow_lec.dir/DependInfo.cmake"
+  "/root/repo/build/src/wddl/CMakeFiles/secflow_wddl.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/secflow_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/lef/CMakeFiles/secflow_lef.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/secflow_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/secflow_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/secflow_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_detection.dir/fault_detection.cpp.o"
+  "CMakeFiles/fault_detection.dir/fault_detection.cpp.o.d"
+  "fault_detection"
+  "fault_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secflow_cli.dir/secflow_cli.cpp.o"
+  "CMakeFiles/secflow_cli.dir/secflow_cli.cpp.o.d"
+  "secflow_cli"
+  "secflow_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secflow_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

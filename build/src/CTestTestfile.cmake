@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("netlist")
+subdirs("liberty")
+subdirs("lef")
+subdirs("synth")
+subdirs("wddl")
+subdirs("lec")
+subdirs("pnr")
+subdirs("extract")
+subdirs("sim")
+subdirs("sta")
+subdirs("sca")
+subdirs("crypto")
+subdirs("flow")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/error.cpp" "src/base/CMakeFiles/secflow_base.dir/error.cpp.o" "gcc" "src/base/CMakeFiles/secflow_base.dir/error.cpp.o.d"
+  "/root/repo/src/base/geometry.cpp" "src/base/CMakeFiles/secflow_base.dir/geometry.cpp.o" "gcc" "src/base/CMakeFiles/secflow_base.dir/geometry.cpp.o.d"
+  "/root/repo/src/base/rng.cpp" "src/base/CMakeFiles/secflow_base.dir/rng.cpp.o" "gcc" "src/base/CMakeFiles/secflow_base.dir/rng.cpp.o.d"
+  "/root/repo/src/base/strings.cpp" "src/base/CMakeFiles/secflow_base.dir/strings.cpp.o" "gcc" "src/base/CMakeFiles/secflow_base.dir/strings.cpp.o.d"
+  "/root/repo/src/base/units.cpp" "src/base/CMakeFiles/secflow_base.dir/units.cpp.o" "gcc" "src/base/CMakeFiles/secflow_base.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

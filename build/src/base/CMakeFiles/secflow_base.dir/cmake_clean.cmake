@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secflow_base.dir/error.cpp.o"
+  "CMakeFiles/secflow_base.dir/error.cpp.o.d"
+  "CMakeFiles/secflow_base.dir/geometry.cpp.o"
+  "CMakeFiles/secflow_base.dir/geometry.cpp.o.d"
+  "CMakeFiles/secflow_base.dir/rng.cpp.o"
+  "CMakeFiles/secflow_base.dir/rng.cpp.o.d"
+  "CMakeFiles/secflow_base.dir/strings.cpp.o"
+  "CMakeFiles/secflow_base.dir/strings.cpp.o.d"
+  "CMakeFiles/secflow_base.dir/units.cpp.o"
+  "CMakeFiles/secflow_base.dir/units.cpp.o.d"
+  "libsecflow_base.a"
+  "libsecflow_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secflow_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

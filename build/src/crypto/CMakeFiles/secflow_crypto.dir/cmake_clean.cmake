@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secflow_crypto.dir/aes.cpp.o"
+  "CMakeFiles/secflow_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/secflow_crypto.dir/des.cpp.o"
+  "CMakeFiles/secflow_crypto.dir/des.cpp.o.d"
+  "libsecflow_crypto.a"
+  "libsecflow_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secflow_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secflow_extract.dir/extract.cpp.o"
+  "CMakeFiles/secflow_extract.dir/extract.cpp.o.d"
+  "libsecflow_extract.a"
+  "libsecflow_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secflow_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

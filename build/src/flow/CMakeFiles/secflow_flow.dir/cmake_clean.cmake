@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secflow_flow.dir/flow.cpp.o"
+  "CMakeFiles/secflow_flow.dir/flow.cpp.o.d"
+  "libsecflow_flow.a"
+  "libsecflow_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secflow_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

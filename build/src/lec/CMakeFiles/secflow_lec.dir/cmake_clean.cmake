@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secflow_lec.dir/bdd.cpp.o"
+  "CMakeFiles/secflow_lec.dir/bdd.cpp.o.d"
+  "CMakeFiles/secflow_lec.dir/lec.cpp.o"
+  "CMakeFiles/secflow_lec.dir/lec.cpp.o.d"
+  "libsecflow_lec.a"
+  "libsecflow_lec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secflow_lec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secflow_lef.dir/lef.cpp.o"
+  "CMakeFiles/secflow_lef.dir/lef.cpp.o.d"
+  "CMakeFiles/secflow_lef.dir/lef_io.cpp.o"
+  "CMakeFiles/secflow_lef.dir/lef_io.cpp.o.d"
+  "libsecflow_lef.a"
+  "libsecflow_lef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secflow_lef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liberty/bool_expr.cpp" "src/liberty/CMakeFiles/secflow_liberty.dir/bool_expr.cpp.o" "gcc" "src/liberty/CMakeFiles/secflow_liberty.dir/bool_expr.cpp.o.d"
+  "/root/repo/src/liberty/builtin_lib.cpp" "src/liberty/CMakeFiles/secflow_liberty.dir/builtin_lib.cpp.o" "gcc" "src/liberty/CMakeFiles/secflow_liberty.dir/builtin_lib.cpp.o.d"
+  "/root/repo/src/liberty/liberty_parser.cpp" "src/liberty/CMakeFiles/secflow_liberty.dir/liberty_parser.cpp.o" "gcc" "src/liberty/CMakeFiles/secflow_liberty.dir/liberty_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/secflow_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/secflow_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

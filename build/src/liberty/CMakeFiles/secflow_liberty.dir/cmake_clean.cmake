@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secflow_liberty.dir/bool_expr.cpp.o"
+  "CMakeFiles/secflow_liberty.dir/bool_expr.cpp.o.d"
+  "CMakeFiles/secflow_liberty.dir/builtin_lib.cpp.o"
+  "CMakeFiles/secflow_liberty.dir/builtin_lib.cpp.o.d"
+  "CMakeFiles/secflow_liberty.dir/liberty_parser.cpp.o"
+  "CMakeFiles/secflow_liberty.dir/liberty_parser.cpp.o.d"
+  "libsecflow_liberty.a"
+  "libsecflow_liberty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secflow_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

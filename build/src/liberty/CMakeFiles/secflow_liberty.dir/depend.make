@@ -1,0 +1,2 @@
+# Empty dependencies file for secflow_liberty.
+# This may be replaced when dependencies are built.

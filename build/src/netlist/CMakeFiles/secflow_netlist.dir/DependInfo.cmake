@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/cell_library.cpp" "src/netlist/CMakeFiles/secflow_netlist.dir/cell_library.cpp.o" "gcc" "src/netlist/CMakeFiles/secflow_netlist.dir/cell_library.cpp.o.d"
+  "/root/repo/src/netlist/logic_fn.cpp" "src/netlist/CMakeFiles/secflow_netlist.dir/logic_fn.cpp.o" "gcc" "src/netlist/CMakeFiles/secflow_netlist.dir/logic_fn.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/secflow_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/secflow_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/netlist_ops.cpp" "src/netlist/CMakeFiles/secflow_netlist.dir/netlist_ops.cpp.o" "gcc" "src/netlist/CMakeFiles/secflow_netlist.dir/netlist_ops.cpp.o.d"
+  "/root/repo/src/netlist/verilog_parser.cpp" "src/netlist/CMakeFiles/secflow_netlist.dir/verilog_parser.cpp.o" "gcc" "src/netlist/CMakeFiles/secflow_netlist.dir/verilog_parser.cpp.o.d"
+  "/root/repo/src/netlist/verilog_writer.cpp" "src/netlist/CMakeFiles/secflow_netlist.dir/verilog_writer.cpp.o" "gcc" "src/netlist/CMakeFiles/secflow_netlist.dir/verilog_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/secflow_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secflow_netlist.dir/cell_library.cpp.o"
+  "CMakeFiles/secflow_netlist.dir/cell_library.cpp.o.d"
+  "CMakeFiles/secflow_netlist.dir/logic_fn.cpp.o"
+  "CMakeFiles/secflow_netlist.dir/logic_fn.cpp.o.d"
+  "CMakeFiles/secflow_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/secflow_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/secflow_netlist.dir/netlist_ops.cpp.o"
+  "CMakeFiles/secflow_netlist.dir/netlist_ops.cpp.o.d"
+  "CMakeFiles/secflow_netlist.dir/verilog_parser.cpp.o"
+  "CMakeFiles/secflow_netlist.dir/verilog_parser.cpp.o.d"
+  "CMakeFiles/secflow_netlist.dir/verilog_writer.cpp.o"
+  "CMakeFiles/secflow_netlist.dir/verilog_writer.cpp.o.d"
+  "libsecflow_netlist.a"
+  "libsecflow_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secflow_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secflow_pnr.dir/check.cpp.o"
+  "CMakeFiles/secflow_pnr.dir/check.cpp.o.d"
+  "CMakeFiles/secflow_pnr.dir/decompose.cpp.o"
+  "CMakeFiles/secflow_pnr.dir/decompose.cpp.o.d"
+  "CMakeFiles/secflow_pnr.dir/def.cpp.o"
+  "CMakeFiles/secflow_pnr.dir/def.cpp.o.d"
+  "CMakeFiles/secflow_pnr.dir/place.cpp.o"
+  "CMakeFiles/secflow_pnr.dir/place.cpp.o.d"
+  "CMakeFiles/secflow_pnr.dir/render.cpp.o"
+  "CMakeFiles/secflow_pnr.dir/render.cpp.o.d"
+  "CMakeFiles/secflow_pnr.dir/route.cpp.o"
+  "CMakeFiles/secflow_pnr.dir/route.cpp.o.d"
+  "libsecflow_pnr.a"
+  "libsecflow_pnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secflow_pnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for secflow_pnr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for secflow_pnr.
+# This may be replaced when dependencies are built.

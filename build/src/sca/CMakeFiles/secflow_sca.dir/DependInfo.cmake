@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sca/dfa.cpp" "src/sca/CMakeFiles/secflow_sca.dir/dfa.cpp.o" "gcc" "src/sca/CMakeFiles/secflow_sca.dir/dfa.cpp.o.d"
+  "/root/repo/src/sca/dpa.cpp" "src/sca/CMakeFiles/secflow_sca.dir/dpa.cpp.o" "gcc" "src/sca/CMakeFiles/secflow_sca.dir/dpa.cpp.o.d"
+  "/root/repo/src/sca/dpa_experiment.cpp" "src/sca/CMakeFiles/secflow_sca.dir/dpa_experiment.cpp.o" "gcc" "src/sca/CMakeFiles/secflow_sca.dir/dpa_experiment.cpp.o.d"
+  "/root/repo/src/sca/ema.cpp" "src/sca/CMakeFiles/secflow_sca.dir/ema.cpp.o" "gcc" "src/sca/CMakeFiles/secflow_sca.dir/ema.cpp.o.d"
+  "/root/repo/src/sca/trace_io.cpp" "src/sca/CMakeFiles/secflow_sca.dir/trace_io.cpp.o" "gcc" "src/sca/CMakeFiles/secflow_sca.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/secflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/secflow_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/secflow_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/secflow_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/wddl/CMakeFiles/secflow_wddl.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/secflow_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/secflow_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

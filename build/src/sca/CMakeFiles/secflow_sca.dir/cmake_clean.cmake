@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secflow_sca.dir/dfa.cpp.o"
+  "CMakeFiles/secflow_sca.dir/dfa.cpp.o.d"
+  "CMakeFiles/secflow_sca.dir/dpa.cpp.o"
+  "CMakeFiles/secflow_sca.dir/dpa.cpp.o.d"
+  "CMakeFiles/secflow_sca.dir/dpa_experiment.cpp.o"
+  "CMakeFiles/secflow_sca.dir/dpa_experiment.cpp.o.d"
+  "CMakeFiles/secflow_sca.dir/ema.cpp.o"
+  "CMakeFiles/secflow_sca.dir/ema.cpp.o.d"
+  "CMakeFiles/secflow_sca.dir/trace_io.cpp.o"
+  "CMakeFiles/secflow_sca.dir/trace_io.cpp.o.d"
+  "libsecflow_sca.a"
+  "libsecflow_sca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secflow_sca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

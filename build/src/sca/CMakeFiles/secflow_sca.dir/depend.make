@@ -1,0 +1,2 @@
+# Empty dependencies file for secflow_sca.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secflow_sim.dir/power_sim.cpp.o"
+  "CMakeFiles/secflow_sim.dir/power_sim.cpp.o.d"
+  "libsecflow_sim.a"
+  "libsecflow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secflow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

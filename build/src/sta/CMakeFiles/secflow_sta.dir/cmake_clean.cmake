@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secflow_sta.dir/sta.cpp.o"
+  "CMakeFiles/secflow_sta.dir/sta.cpp.o.d"
+  "libsecflow_sta.a"
+  "libsecflow_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secflow_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

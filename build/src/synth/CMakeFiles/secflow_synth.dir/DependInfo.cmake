@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/aig.cpp" "src/synth/CMakeFiles/secflow_synth.dir/aig.cpp.o" "gcc" "src/synth/CMakeFiles/secflow_synth.dir/aig.cpp.o.d"
+  "/root/repo/src/synth/circuit.cpp" "src/synth/CMakeFiles/secflow_synth.dir/circuit.cpp.o" "gcc" "src/synth/CMakeFiles/secflow_synth.dir/circuit.cpp.o.d"
+  "/root/repo/src/synth/hdl.cpp" "src/synth/CMakeFiles/secflow_synth.dir/hdl.cpp.o" "gcc" "src/synth/CMakeFiles/secflow_synth.dir/hdl.cpp.o.d"
+  "/root/repo/src/synth/techmap.cpp" "src/synth/CMakeFiles/secflow_synth.dir/techmap.cpp.o" "gcc" "src/synth/CMakeFiles/secflow_synth.dir/techmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/secflow_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/secflow_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/secflow_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

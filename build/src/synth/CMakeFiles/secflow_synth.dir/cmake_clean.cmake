@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secflow_synth.dir/aig.cpp.o"
+  "CMakeFiles/secflow_synth.dir/aig.cpp.o.d"
+  "CMakeFiles/secflow_synth.dir/circuit.cpp.o"
+  "CMakeFiles/secflow_synth.dir/circuit.cpp.o.d"
+  "CMakeFiles/secflow_synth.dir/hdl.cpp.o"
+  "CMakeFiles/secflow_synth.dir/hdl.cpp.o.d"
+  "CMakeFiles/secflow_synth.dir/techmap.cpp.o"
+  "CMakeFiles/secflow_synth.dir/techmap.cpp.o.d"
+  "libsecflow_synth.a"
+  "libsecflow_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secflow_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

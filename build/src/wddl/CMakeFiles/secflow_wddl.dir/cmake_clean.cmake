@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secflow_wddl.dir/cell_substitution.cpp.o"
+  "CMakeFiles/secflow_wddl.dir/cell_substitution.cpp.o.d"
+  "CMakeFiles/secflow_wddl.dir/qm.cpp.o"
+  "CMakeFiles/secflow_wddl.dir/qm.cpp.o.d"
+  "CMakeFiles/secflow_wddl.dir/wddl_library.cpp.o"
+  "CMakeFiles/secflow_wddl.dir/wddl_library.cpp.o.d"
+  "libsecflow_wddl.a"
+  "libsecflow_wddl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secflow_wddl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/def_test.dir/def_test.cpp.o"
+  "CMakeFiles/def_test.dir/def_test.cpp.o.d"
+  "def_test"
+  "def_test.pdb"
+  "def_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/def_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

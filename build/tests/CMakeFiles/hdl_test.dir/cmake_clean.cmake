@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdl_test.dir/hdl_test.cpp.o"
+  "CMakeFiles/hdl_test.dir/hdl_test.cpp.o.d"
+  "hdl_test"
+  "hdl_test.pdb"
+  "hdl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

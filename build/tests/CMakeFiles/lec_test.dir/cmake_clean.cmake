@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lec_test.dir/lec_test.cpp.o"
+  "CMakeFiles/lec_test.dir/lec_test.cpp.o.d"
+  "lec_test"
+  "lec_test.pdb"
+  "lec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

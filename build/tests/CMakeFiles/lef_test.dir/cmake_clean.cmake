@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lef_test.dir/lef_test.cpp.o"
+  "CMakeFiles/lef_test.dir/lef_test.cpp.o.d"
+  "lef_test"
+  "lef_test.pdb"
+  "lef_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lef_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_test.dir/liberty_test.cpp.o"
+  "CMakeFiles/liberty_test.dir/liberty_test.cpp.o.d"
+  "liberty_test"
+  "liberty_test.pdb"
+  "liberty_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

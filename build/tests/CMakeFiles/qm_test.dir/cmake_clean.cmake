@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qm_test.dir/qm_test.cpp.o"
+  "CMakeFiles/qm_test.dir/qm_test.cpp.o.d"
+  "qm_test"
+  "qm_test.pdb"
+  "qm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

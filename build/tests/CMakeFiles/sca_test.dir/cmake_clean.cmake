@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_test.dir/sca_test.cpp.o"
+  "CMakeFiles/sca_test.dir/sca_test.cpp.o.d"
+  "sca_test"
+  "sca_test.pdb"
+  "sca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wddl_inventory_test.dir/wddl_inventory_test.cpp.o"
+  "CMakeFiles/wddl_inventory_test.dir/wddl_inventory_test.cpp.o.d"
+  "wddl_inventory_test"
+  "wddl_inventory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wddl_inventory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wddl_test.dir/wddl_test.cpp.o"
+  "CMakeFiles/wddl_test.dir/wddl_test.cpp.o.d"
+  "wddl_test"
+  "wddl_test.pdb"
+  "wddl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wddl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/logic_fn_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/verilog_test[1]_include.cmake")
+include("/root/repo/build/tests/liberty_test[1]_include.cmake")
+include("/root/repo/build/tests/lef_test[1]_include.cmake")
+include("/root/repo/build/tests/aig_test[1]_include.cmake")
+include("/root/repo/build/tests/hdl_test[1]_include.cmake")
+include("/root/repo/build/tests/techmap_test[1]_include.cmake")
+include("/root/repo/build/tests/qm_test[1]_include.cmake")
+include("/root/repo/build/tests/wddl_test[1]_include.cmake")
+include("/root/repo/build/tests/lec_test[1]_include.cmake")
+include("/root/repo/build/tests/pnr_test[1]_include.cmake")
+include("/root/repo/build/tests/extract_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/sca_test[1]_include.cmake")
+include("/root/repo/build/tests/sta_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/render_test[1]_include.cmake")
+include("/root/repo/build/tests/def_test[1]_include.cmake")
+add_test(flow_test "/root/repo/build/tests/flow_test")
+set_tests_properties(flow_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(wddl_inventory_test "/root/repo/build/tests/wddl_inventory_test")
+set_tests_properties(wddl_inventory_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;42;add_test;/root/repo/tests/CMakeLists.txt;0;")
