@@ -60,7 +60,7 @@ int main() {
     ExtractOptions eo;
     eo.variation_sigma = sigma;
     const Extraction ex =
-        extract_parasitics(d.secure.diff_def, d.secure.diff, eo);
+        extract_parasitics(d.secure.def, d.secure.diff, eo);
     const CapTable caps = build_cap_table(d.secure.diff, ex);
     const Outcome o = attack(d.secure.diff, caps, kTraces);
     bench::row("process variation sigma %.0f%% %21.4f %12.4f %10s",

@@ -22,13 +22,13 @@ int main() {
   bench::row("%-24s %14s %14s", "paper [um^2]", "3782", "12880 (3.41x)");
   bench::row("%-24s %14.0f %14.0f", "wirelength [um]",
              dbu_to_um(d.regular.def.total_wirelength()),
-             dbu_to_um(d.secure.diff_def.total_wirelength()));
+             dbu_to_um(d.secure.def.total_wirelength()));
 
   bench::row("\n--- regular flow layout ---");
   RenderOptions ro;
   ro.max_cols = 80;
   std::fputs(render_design(d.regular.def, ro).c_str(), stdout);
   bench::row("--- secure flow layout (differential, after decomposition) ---");
-  std::fputs(render_design(d.secure.diff_def, ro).c_str(), stdout);
+  std::fputs(render_design(d.secure.def, ro).c_str(), stdout);
   return 0;
 }

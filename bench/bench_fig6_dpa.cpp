@@ -4,7 +4,10 @@
 // of the 64 differential traces at 2000 measurements (the secret key
 // stands out only for the reference implementation).
 #include <algorithm>
+#include <chrono>
+#include <optional>
 
+#include "base/parallel.h"
 #include "bench_util.h"
 #include "sca/dpa_experiment.h"
 
@@ -22,6 +25,14 @@ void print_pp_series(const DpaResult& r, std::uint32_t key) {
   }
 }
 
+double wall_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 int main() {
@@ -29,10 +40,38 @@ int main() {
   DesDpaSetup setup;
   setup.n_measurements = 2000;
 
-  const DpaAnalysis ref =
-      run_des_dpa_regular(d.regular.rtl, d.regular.caps, setup);
+  // Campaign parallelism: serial baseline vs the full thread budget
+  // (SECFLOW_THREADS or hardware).  The per-trace RNG streams make the
+  // parallel campaign bit-identical to the serial one — verified below.
+  DesDpaSetup serial = setup;
+  serial.parallelism.n_threads = 1;
+  const int n_par = Parallelism{}.resolved_threads();
+
+  std::optional<DpaAnalysis> ref_opt, ref_par_opt;
+  const double ser_ms = wall_ms([&] {
+    ref_opt = run_des_dpa_regular(d.regular.rtl, d.regular.caps, serial);
+  });
+  const double par_ms = wall_ms([&] {
+    ref_par_opt = run_des_dpa_regular(d.regular.rtl, d.regular.caps, setup);
+  });
+  const DpaAnalysis& ref = *ref_opt;
+  const DpaAnalysis& ref_par = *ref_par_opt;
   const DpaAnalysis sec =
       run_des_dpa_secure(d.secure.diff, d.secure.caps, setup);
+
+  bench::header("parallel campaign", "serial vs parallel trace synthesis");
+  bench::row("regular campaign, %d traces: %.0f ms @ 1 thread, "
+             "%.0f ms @ %d threads (%.2fx)",
+             setup.n_measurements, ser_ms, par_ms, n_par, ser_ms / par_ms);
+  {
+    const DpaResult a = ref.analyze(setup.key);
+    const DpaResult b = ref_par.analyze(setup.key);
+    const bool identical = a.peak_to_peak == b.peak_to_peak &&
+                           a.best_guess == b.best_guess &&
+                           a.disclosed == b.disclosed;
+    bench::row("parallel == serial DPA result: %s",
+               identical ? "bit-identical" : "MISMATCH");
+  }
 
   std::vector<int> grid;
   for (int m = 100; m <= 2000; m += 100) grid.push_back(m);

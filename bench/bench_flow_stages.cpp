@@ -24,7 +24,7 @@ int main() {
              d.secure.fat_def.nets.size(),
              d.secure.timings.place_ms + d.secure.timings.route_ms);
   bench::row("%-28s diff.def: %4zu rail nets %15.1f",
-             "interconnect decomposition*", d.secure.diff_def.nets.size(),
+             "interconnect decomposition*", d.secure.def.nets.size(),
              d.secure.timings.decomposition_ms);
   bench::row("%-28s layout + parasitics %20.1f", "stream out / extraction",
              d.secure.timings.extraction_ms);

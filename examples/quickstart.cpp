@@ -45,9 +45,9 @@ int main() {
   write_verilog_file(secure.fat, (out / "fat.v").string());
   write_verilog_file(secure.diff, (out / "diff.v").string());
   write_lef_file(secure.fat_lef, (out / "fat_lib.lef").string());
-  write_lef_file(secure.diff_lef, (out / "diff_lib.lef").string());
+  write_lef_file(secure.lef, (out / "diff_lib.lef").string());
   write_def_file(secure.fat_def, (out / "fat.def").string());
-  write_def_file(secure.diff_def, (out / "diff.def").string());
+  write_def_file(secure.def, (out / "diff.def").string());
   {
     std::FILE* f = std::fopen((out / "lib.lib").string().c_str(), "w");
     const std::string lib_text = write_liberty(*lib);

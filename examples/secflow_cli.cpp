@@ -57,7 +57,7 @@ int cmd_flow(int argc, char** argv) {
   if (out_dir.empty()) out_dir = circuit.name + "_out";
   const auto lib = builtin_stdcell018();
   FlowOptions opts;
-  opts.quick_route = quick;
+  if (quick) opts.route_mode = RouteMode::kQuickLShaped;
 
   std::filesystem::create_directories(out_dir);
   const std::filesystem::path out = out_dir;
@@ -75,9 +75,9 @@ int cmd_flow(int argc, char** argv) {
     write_verilog_file(r.fat, (out / "fat.v").string());
     write_verilog_file(r.diff, (out / "diff.v").string());
     write_lef_file(r.fat_lef, (out / "fat_lib.lef").string());
-    write_lef_file(r.diff_lef, (out / "diff_lib.lef").string());
+    write_lef_file(r.lef, (out / "diff_lib.lef").string());
     write_def_file(r.fat_def, (out / "fat.def").string());
-    write_def_file(r.diff_def, (out / "diff.def").string());
+    write_def_file(r.def, (out / "diff.def").string());
     std::printf("%s", timing_report_text(r.timing).c_str());
   }
   std::printf("artifacts written to %s/\n", out_dir.c_str());

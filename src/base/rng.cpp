@@ -74,4 +74,14 @@ double Rng::next_gaussian() {
 
 Rng Rng::fork() { return Rng(next_u64() ^ 0xD1B54A32D192ED03ull); }
 
+Rng Rng::stream(std::uint64_t master_seed, std::uint64_t stream) {
+  // Two rounds of splitmix64 over (seed, stream) decorrelate neighbouring
+  // stream indices; the Rng constructor expands the result further.
+  std::uint64_t sm = master_seed;
+  std::uint64_t mixed = splitmix64(sm);
+  sm = mixed ^ (stream * 0xD1B54A32D192ED03ull + 0x8CB92BA72F3D8DD7ull);
+  mixed = splitmix64(sm);
+  return Rng(mixed);
+}
+
 }  // namespace secflow

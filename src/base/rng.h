@@ -32,6 +32,14 @@ class Rng {
   /// Fork a statistically independent child stream (for per-module seeding).
   Rng fork();
 
+  /// Statistically independent stream #`stream` of a master seed, without
+  /// consuming master state: stream i is the same generator no matter how
+  /// many sibling streams exist or in which order they are created.  This
+  /// is the substrate of deterministic parallelism — give task i stream i
+  /// and the task's randomness is identical whether tasks run serially or
+  /// on any number of threads.
+  static Rng stream(std::uint64_t master_seed, std::uint64_t stream);
+
  private:
   std::uint64_t s_[4];
   bool have_spare_gaussian_ = false;

@@ -17,44 +17,65 @@ Extraction extract_parasitics(const DefDesign& design, const Netlist& nl,
   const Process018& pr = opts.process;
   Extraction ex;
 
-  // Wire geometry.
-  for (const DefNet& net : design.nets) {
-    NetParasitics p;
-    for (const Segment& s : net.wires) {
-      const double len_um = dbu_to_um(s.length());
-      const double w_um = dbu_to_um(s.width);
-      if (len_um <= 0.0) continue;
-      p.wire_cap_ff += len_um * w_um * pr.wire_c_area_ff_per_um2;
-      p.wire_cap_ff += 2.0 * len_um * pr.wire_c_fringe_ff_per_um;
-      p.res_kohm += pr.wire_r_ohm_per_sq * (len_um / w_um) * 1e-3;
+  // Wire geometry: every net's RC is an independent task.
+  const std::size_t n_nets = design.nets.size();
+  {
+    std::vector<NetParasitics> per_net = parallel_map(
+        n_nets, opts.parallelism, [&](std::size_t i) {
+          const DefNet& net = design.nets[i];
+          NetParasitics p;
+          for (const Segment& s : net.wires) {
+            const double len_um = dbu_to_um(s.length());
+            const double w_um = dbu_to_um(s.width);
+            if (len_um <= 0.0) continue;
+            p.wire_cap_ff += len_um * w_um * pr.wire_c_area_ff_per_um2;
+            p.wire_cap_ff += 2.0 * len_um * pr.wire_c_fringe_ff_per_um;
+            p.res_kohm += pr.wire_r_ohm_per_sq * (len_um / w_um) * 1e-3;
+          }
+          for (std::size_t v = 0; v < net.vias.size(); ++v) {
+            p.wire_cap_ff += pr.via_c_ff;
+            p.res_kohm += pr.via_r_ohm * 1e-3;
+          }
+          return p;
+        });
+    for (std::size_t i = 0; i < n_nets; ++i) {
+      ex.nets.emplace(design.nets[i].name, std::move(per_net[i]));
     }
-    for (std::size_t i = 0; i < net.vias.size(); ++i) {
-      p.wire_cap_ff += pr.via_c_ff;
-      p.res_kohm += pr.via_r_ohm * 1e-3;
-    }
-    ex.nets.emplace(net.name, std::move(p));
   }
 
-  // Lateral coupling between different nets, same layer.
+  // Lateral coupling between different nets, same layer.  The quadratic
+  // pair scan parallelizes over the first net of each pair; every task
+  // only writes its own bucket, and buckets are merged serially in net
+  // order below, reproducing the serial accumulation exactly.
   const std::int64_t max_sep = um_to_dbu(opts.coupling_max_sep_um);
-  for (std::size_t i = 0; i < design.nets.size(); ++i) {
-    for (std::size_t j = i + 1; j < design.nets.size(); ++j) {
-      const DefNet& a = design.nets[i];
-      const DefNet& b = design.nets[j];
-      double cc = 0.0;
-      for (const Segment& sa : a.wires) {
-        for (const Segment& sb : b.wires) {
-          std::int64_t sep = 0;
-          const std::int64_t run = parallel_run_length(sa, sb, &sep);
-          if (run <= 0 || sep == 0 || sep > max_sep) continue;
-          // Coupling scales with run length and inversely with separation
-          // (normalized to the minimum pitch).
-          const double pitch_um = pr.wire_pitch_um;
-          cc += pr.wire_c_couple_ff_per_um * dbu_to_um(run) *
-                (pitch_um / dbu_to_um(sep));
-        }
-      }
-      if (cc > 0.0) {
+  {
+    std::vector<std::vector<std::pair<std::size_t, double>>> coupled =
+        parallel_map(n_nets, opts.parallelism, [&](std::size_t i) {
+          std::vector<std::pair<std::size_t, double>> out;
+          const DefNet& a = design.nets[i];
+          for (std::size_t j = i + 1; j < n_nets; ++j) {
+            const DefNet& b = design.nets[j];
+            double cc = 0.0;
+            for (const Segment& sa : a.wires) {
+              for (const Segment& sb : b.wires) {
+                std::int64_t sep = 0;
+                const std::int64_t run = parallel_run_length(sa, sb, &sep);
+                if (run <= 0 || sep == 0 || sep > max_sep) continue;
+                // Coupling scales with run length and inversely with
+                // separation (normalized to the minimum pitch).
+                const double pitch_um = pr.wire_pitch_um;
+                cc += pr.wire_c_couple_ff_per_um * dbu_to_um(run) *
+                      (pitch_um / dbu_to_um(sep));
+              }
+            }
+            if (cc > 0.0) out.emplace_back(j, cc);
+          }
+          return out;
+        });
+    for (std::size_t i = 0; i < n_nets; ++i) {
+      for (const auto& [j, cc] : coupled[i]) {
+        const DefNet& a = design.nets[i];
+        const DefNet& b = design.nets[j];
         ex.nets[a.name].coupling_cap_ff += cc;
         ex.nets[a.name].couplings.emplace_back(b.name, cc);
         ex.nets[b.name].coupling_cap_ff += cc;

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/parallel.h"
 #include "base/rng.h"
 #include "base/units.h"
 #include "lef/lef.h"
@@ -40,6 +41,10 @@ struct ExtractOptions {
   /// (deterministic per seed).  0 disables.
   double variation_sigma = 0.0;
   std::uint64_t seed = 7;
+  /// Per-net RC and same-layer coupling scans run as independent tasks;
+  /// pairwise couplings are merged serially in net order afterwards, so
+  /// the extraction is bit-identical for any thread count.
+  Parallelism parallelism;
 };
 
 struct Extraction {

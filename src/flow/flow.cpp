@@ -37,7 +37,50 @@ std::string clock_net_name(const Netlist& nl) {
   return {};
 }
 
+/// Stage option structs whose thread count is on auto (0) inherit the
+/// flow-level Parallelism, so one knob controls the whole flow while an
+/// explicit per-stage setting still wins.
+FlowOptions resolve_parallelism(const FlowOptions& opts) {
+  FlowOptions o = opts;
+  if (o.place.parallelism.n_threads == 0) o.place.parallelism = o.parallelism;
+  if (o.extract.parallelism.n_threads == 0)
+    o.extract.parallelism = o.parallelism;
+  return o;
+}
+
+void append_common(std::ostringstream& os, const FlowArtifacts& r) {
+  os << "  die:         " << r.die_area_um2() << " um^2\n";
+  os << "  wirelength:  " << dbu_to_um(r.def.total_wirelength()) << " um, "
+     << r.def.total_vias() << " vias\n";
+  os << "  runtime:     " << r.timings.total_ms() << " ms ("
+     << r.timings.n_threads
+     << (r.timings.n_threads == 1 ? " thread)\n" : " threads)\n");
+}
+
 }  // namespace
+
+void FlowOptions::validate() const {
+  SECFLOW_CHECK(
+      !(shielded_pairs && route_mode == RouteMode::kQuickLShaped),
+      "FlowOptions: shielded_pairs requires RouteMode::kDetailed — quick "
+      "L-shaped routing produces no conflict-checked geometry to shield");
+  SECFLOW_CHECK(place.aspect_ratio > 0.0,
+                "FlowOptions: place.aspect_ratio must be > 0");
+  SECFLOW_CHECK(place.fill_factor > 0.0 && place.fill_factor <= 1.0,
+                "FlowOptions: place.fill_factor must be in (0, 1]");
+  SECFLOW_CHECK(place.sa_moves_per_instance >= 0,
+                "FlowOptions: place.sa_moves_per_instance must be >= 0");
+  SECFLOW_CHECK(place.sa_batch >= 1,
+                "FlowOptions: place.sa_batch must be >= 1");
+  SECFLOW_CHECK(extract.coupling_max_sep_um >= 0.0,
+                "FlowOptions: extract.coupling_max_sep_um must be >= 0");
+  SECFLOW_CHECK(extract.variation_sigma >= 0.0,
+                "FlowOptions: extract.variation_sigma must be >= 0");
+  SECFLOW_CHECK(parallelism.n_threads >= 0 &&
+                    place.parallelism.n_threads >= 0 &&
+                    extract.parallelism.n_threads >= 0,
+                "FlowOptions: thread counts must be >= 0 (0 = auto)");
+}
 
 SynthConstraints wddl_synth_constraints() {
   SynthConstraints c;
@@ -50,39 +93,45 @@ SynthConstraints wddl_synth_constraints() {
 RegularFlowResult run_regular_flow(const AigCircuit& circuit,
                                    std::shared_ptr<const CellLibrary> library,
                                    const FlowOptions& opts) {
+  opts.validate();
+  const FlowOptions o = resolve_parallelism(opts);
   Stopwatch sw;
   StageTimings t;
+  t.n_threads = o.parallelism.resolved_threads();
 
-  Netlist rtl = technology_map(circuit, library, opts.synth);
+  Netlist rtl = technology_map(circuit, library, o.synth);
   rtl.validate();
   t.synthesis_ms = sw.lap_ms();
 
-  LefLibrary lef = generate_lef(*library, LefGenOptions{opts.extract.process});
-  DefDesign def = place_design(rtl, lef, opts.place);
+  LefLibrary lef = generate_lef(*library, LefGenOptions{o.extract.process});
+  DefDesign def = place_design(rtl, lef, o.place);
   t.place_ms = sw.lap_ms();
 
-  RouteStats rs = opts.quick_route ? route_design_quick(rtl, lef, def)
-                                   : route_design(rtl, lef, def, opts.route);
+  RouteStats rs = o.route_mode == RouteMode::kQuickLShaped
+                      ? route_design_quick(rtl, lef, def)
+                      : route_design(rtl, lef, def, o.route);
   t.route_ms = sw.lap_ms();
 
-  Extraction ex = extract_parasitics(def, rtl, opts.extract);
+  Extraction ex = extract_parasitics(def, rtl, o.extract);
   CapTable caps = build_cap_table(rtl, ex);
   t.extraction_ms = sw.lap_ms();
   TimingReport timing = analyze_timing(rtl, caps);
 
-  return RegularFlowResult{std::move(rtl),  std::move(lef), std::move(def),
-                           rs,              std::move(ex),  std::move(caps),
-                           t,               std::move(timing)};
+  return RegularFlowResult{{std::move(rtl), std::move(lef), std::move(def),
+                            rs, std::move(ex), std::move(caps), t,
+                            std::move(timing)}};
 }
 
 SecureFlowResult run_secure_flow(const AigCircuit& circuit,
                                  std::shared_ptr<const CellLibrary> library,
                                  const FlowOptions& opts) {
+  opts.validate();
   Stopwatch sw;
   StageTimings t;
 
   // Logic synthesis, restricted to WDDL-supported gates.
-  FlowOptions o = opts;
+  FlowOptions o = resolve_parallelism(opts);
+  t.n_threads = o.parallelism.resolved_threads();
   if (o.synth.allowed_cells.empty()) o.synth = wddl_synth_constraints();
   Netlist rtl = technology_map(circuit, library, o.synth);
   rtl.validate();
@@ -108,7 +157,7 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
   LefLibrary fat_lef = generate_lef(*wlib->fat_library(), fat_gen);
   DefDesign fat_def = place_design(sub.fat, fat_lef, o.place);
   t.place_ms = sw.lap_ms();
-  RouteStats rs = o.quick_route
+  RouteStats rs = o.route_mode == RouteMode::kQuickLShaped
                       ? route_design_quick(sub.fat, fat_lef, fat_def)
                       : route_design(sub.fat, fat_lef, fat_def, o.route);
   t.route_ms = sw.lap_ms();
@@ -156,49 +205,40 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
                     std::to_string(timing.critical_delay_ps) +
                     " ps) does not fit the evaluate half-cycle");
 
-  return SecureFlowResult{std::move(rtl),
-                          wlib,
-                          std::move(sub.fat),
-                          std::move(diff),
-                          std::move(fat_lef),
-                          std::move(diff_lef),
-                          std::move(fat_def),
-                          std::move(diff_def),
-                          rs,
-                          sub.stats,
-                          lec,
-                          stream_check,
-                          std::move(ex),
-                          std::move(caps),
-                          t,
-                          std::move(timing)};
+  return SecureFlowResult{
+      {std::move(rtl), std::move(diff_lef), std::move(diff_def), rs,
+       std::move(ex), std::move(caps), t, std::move(timing)},
+      wlib,
+      std::move(sub.fat),
+      std::move(diff),
+      std::move(fat_lef),
+      std::move(fat_def),
+      sub.stats,
+      lec,
+      stream_check};
 }
 
-std::string flow_report(const RegularFlowResult& r) {
+std::string flow_report(const FlowArtifacts& r) {
   std::ostringstream os;
-  os << "regular flow: " << r.rtl.name() << "\n";
+  os << "flow: " << r.rtl.name() << "\n";
   os << "  cells:       " << r.rtl.n_instances() << " (area "
      << r.rtl.total_area_um2() << " um^2)\n";
-  os << "  die:         " << r.die_area_um2() << " um^2\n";
-  os << "  wirelength:  " << dbu_to_um(r.def.total_wirelength()) << " um, "
-     << r.def.total_vias() << " vias\n";
+  append_common(os, r);
   return os.str();
 }
 
 std::string flow_report(const SecureFlowResult& r) {
   std::ostringstream os;
   os << "secure flow: " << r.rtl.name() << "\n";
-  os << "  rtl cells:       " << r.rtl.n_instances() << "\n";
-  os << "  fat compounds:   " << r.fat.n_instances() << " ("
+  os << "  rtl cells:   " << r.rtl.n_instances() << "\n";
+  os << "  fat cells:   " << r.fat.n_instances() << " ("
      << r.sub_stats.inverters_removed << " inverters removed)\n";
-  os << "  diff primitives: " << r.diff.n_instances() << " (area "
+  os << "  diff cells:  " << r.diff.n_instances() << " (area "
      << r.diff.total_area_um2() << " um^2)\n";
-  os << "  die:             " << r.die_area_um2() << " um^2\n";
-  os << "  wirelength:      " << dbu_to_um(r.diff_def.total_wirelength())
-     << " um, " << r.diff_def.total_vias() << " vias\n";
-  os << "  LEC:             " << (r.lec.equivalent ? "pass" : "FAIL") << " ("
+  append_common(os, r);
+  os << "  LEC:         " << (r.lec.equivalent ? "pass" : "FAIL") << " ("
      << r.lec.compared_points << " points)\n";
-  os << "  eval timing:     " << r.timing.critical_delay_ps
+  os << "  eval timing: " << r.timing.critical_delay_ps
      << " ps critical (half-cycle budget 4000 ps)\n";
   return os.str();
 }

@@ -11,12 +11,16 @@
 // the differential netlist and the decomposed design during stream-out.
 //
 // Both flows return every artifact (netlists, LEFs, DEFs, extraction,
-// switched-capacitance table) so experiments can replay any stage.
+// switched-capacitance table) so experiments can replay any stage.  The
+// common artifacts live in the FlowArtifacts base — for the secure flow,
+// `lef`/`def` are the stream-out (differential) library and layout — and
+// SecureFlowResult adds the intermediate fat/differential artifacts.
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "base/parallel.h"
 #include "extract/extract.h"
 #include "lec/lec.h"
 #include "lef/lef.h"
@@ -35,17 +39,30 @@
 
 namespace secflow {
 
+/// How the flow routes the placed design.
+enum class RouteMode {
+  kDetailed,     ///< conflict-checked grid routing (the paper's flow)
+  kQuickLShaped  ///< L-shaped, no conflict checks (scale benchmarks only)
+};
+
 struct FlowOptions {
   SynthConstraints synth;
   PlaceOptions place;        ///< paper defaults: aspect 1, fill 80 %
   RouteOptions route;
   ExtractOptions extract;
-  /// L-shaped non-conflict-checked routing (scale benchmarks only).
-  bool quick_route = false;
+  RouteMode route_mode = RouteMode::kDetailed;
   /// The paper's "shielded lines" strengthening option: route fat wires at
   /// triple width/pitch and emit a grounded shield wire beside every
   /// differential pair during decomposition (costs silicon area).
   bool shielded_pairs = false;
+  /// Parallelism applied to every parallel stage (placement annealing,
+  /// extraction) whose own option struct leaves the thread count on auto.
+  Parallelism parallelism;
+
+  /// Reject inconsistent combinations with a descriptive Error before the
+  /// flow spends minutes producing a silently wrong artifact.  Called by
+  /// run_regular_flow / run_secure_flow.
+  void validate() const;
 };
 
 struct StageTimings {
@@ -55,43 +72,47 @@ struct StageTimings {
   double route_ms = 0.0;
   double decomposition_ms = 0.0;  // secure flow only
   double extraction_ms = 0.0;
+  /// Threads the flow's parallel stages resolved to (1 = serial).
+  int n_threads = 1;
+
+  double total_ms() const {
+    return synthesis_ms + substitution_ms + place_ms + route_ms +
+           decomposition_ms + extraction_ms;
+  }
 };
 
-struct RegularFlowResult {
-  Netlist rtl;
-  LefLibrary lef;
-  DefDesign def;
+/// Artifacts common to both flows.  For the regular flow these are the
+/// only artifacts; for the secure flow `lef`/`def`/`extraction`/`caps`
+/// describe the final (differential) layout.
+struct FlowArtifacts {
+  Netlist rtl;          ///< single-ended mapped netlist
+  LefLibrary lef;       ///< physical library of the final layout
+  DefDesign def;        ///< the final placed-and-routed layout
   RouteStats route_stats;
   Extraction extraction;
-  CapTable caps;
+  CapTable caps;        ///< switched-capacitance table for the simulator
   StageTimings timings;
   TimingReport timing;  ///< STA on the extracted design
 
   double die_area_um2() const { return def.die_area_um2(); }
 };
 
-struct SecureFlowResult {
-  Netlist rtl;                       ///< single-ended mapped netlist
+struct RegularFlowResult : FlowArtifacts {};
+
+struct SecureFlowResult : FlowArtifacts {
+  // Base members for the secure flow: `lef` is diff_lib.lef, `def` is
+  // diff.def (the layout), `extraction`/`caps` are on the differential
+  // netlist, and `timing` is STA on it.  WDDL evaluates in the first half
+  // cycle (masters capture at the falling edge), so the critical delay
+  // must fit period/2; run_secure_flow throws when it does not.
   std::shared_ptr<WddlLibrary> wlib;
   Netlist fat;                       ///< fat.v
   Netlist diff;                      ///< differential netlist
   LefLibrary fat_lef;                ///< fat_lib.lef
-  LefLibrary diff_lef;               ///< diff_lib.lef
   DefDesign fat_def;                 ///< fat.def
-  DefDesign diff_def;                ///< diff.def (the layout)
-  RouteStats route_stats;
   SubstitutionStats sub_stats;
   LecResult lec;                     ///< fat.v == rtl.v
   CheckResult stream_out_check;      ///< diff netlist == diff.def wiring
-  Extraction extraction;             ///< on diff.def
-  CapTable caps;                     ///< for the differential netlist
-  StageTimings timings;
-  /// STA on the differential netlist.  WDDL evaluates in the first half
-  /// cycle (masters capture at the falling edge), so the critical delay
-  /// must fit period/2; run_secure_flow throws when it does not.
-  TimingReport timing;
-
-  double die_area_um2() const { return diff_def.die_area_um2(); }
 };
 
 /// Run the regular (reference) flow on an elaborated circuit.
@@ -109,8 +130,10 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
 /// mapping is discouraged since inverters dissolve into rail swaps).
 SynthConstraints wddl_synth_constraints();
 
-/// Human-readable one-design flow report (areas, cells, wirelength).
-std::string flow_report(const RegularFlowResult& r);
+/// Human-readable one-design flow report (areas, cells, wirelength).  The
+/// SecureFlowResult overload appends the secure-only artifacts and
+/// verification verdicts.
+std::string flow_report(const FlowArtifacts& r);
 std::string flow_report(const SecureFlowResult& r);
 
 }  // namespace secflow

@@ -166,26 +166,14 @@ DefDesign place_design(const Netlist& nl, const LefLibrary& lef,
   std::unordered_map<std::int32_t, std::size_t> index_of;
   for (std::size_t i = 0; i < n; ++i) index_of[insts[i].value()] = i;
 
-  auto net_hpwl = [&](NetId net) -> std::int64_t {
-    const Net& nn = nl.net(net);
-    if (nn.pins.size() < 2) return 0;
-    std::int64_t lx = INT64_MAX, ly = INT64_MAX, hx = INT64_MIN,
-                 hy = INT64_MIN;
-    for (const PinRef& p : nn.pins) {
-      const std::size_t i = index_of.at(p.inst.value());
-      const LefMacro& m = lef.macro(nl.cell_of(p.inst).name);
-      const Point pos =
-          origin_of(i) +
-          m.pins[static_cast<std::size_t>(p.pin)].offset;
-      lx = std::min(lx, pos.x);
-      hx = std::max(hx, pos.x);
-      ly = std::min(ly, pos.y);
-      hy = std::max(hy, pos.y);
-    }
-    return (hx - lx) + (hy - ly);
-  };
-
-  // Simulated annealing: swap two instances (re-pack their rows).
+  // Simulated annealing: swap two instances (re-pack their rows).  Each
+  // temperature step proposes a fixed batch of candidate swaps; all
+  // candidates are costed read-only against the same placement snapshot
+  // (in parallel when enabled), then commits run serially in proposal
+  // order, skipping candidates whose rows an earlier commit of the batch
+  // already moved (their costs are stale).  The batch structure and all
+  // RNG draws are independent of the thread count, so the refined
+  // placement is bit-identical from 1 to N threads.
   if (opts.sa_moves_per_instance > 0 && n > 2) {
     Rng rng(opts.seed);
     // Nets touching each instance, for incremental cost.
@@ -195,57 +183,143 @@ DefDesign place_design(const Netlist& nl, const LefLibrary& lef,
         if (net.valid()) nets_of[i].push_back(net);
       }
     }
-    auto local_cost = [&](std::size_t a, std::size_t b) {
+
+    // Cost of the nets touching a and b under a position lookup
+    // (idx -> x, row), so a candidate can be evaluated without mutating
+    // the shared placement state.
+    auto local_cost = [&](std::size_t a, std::size_t b, const auto& pos_of) {
       std::int64_t c = 0;
-      for (NetId net : nets_of[a]) c += net_hpwl(net);
-      for (NetId net : nets_of[b]) c += net_hpwl(net);
+      auto one_net = [&](NetId net) {
+        const Net& nn = nl.net(net);
+        if (nn.pins.size() < 2) return std::int64_t{0};
+        std::int64_t lx = INT64_MAX, ly = INT64_MAX, hx = INT64_MIN,
+                     hy = INT64_MIN;
+        for (const PinRef& p : nn.pins) {
+          const std::size_t i = index_of.at(p.inst.value());
+          const LefMacro& m = lef.macro(nl.cell_of(p.inst).name);
+          const auto [x, row] = pos_of(i);
+          const Point pos =
+              Point{fp.core.lo.x + x,
+                    fp.core.lo.y +
+                        static_cast<std::int64_t>(row) * fp.row_height_dbu} +
+              m.pins[static_cast<std::size_t>(p.pin)].offset;
+          lx = std::min(lx, pos.x);
+          hx = std::max(hx, pos.x);
+          ly = std::min(ly, pos.y);
+          hy = std::max(hy, pos.y);
+        }
+        return (hx - lx) + (hy - ly);
+      };
+      for (NetId net : nets_of[a]) c += one_net(net);
+      for (NetId net : nets_of[b]) c += one_net(net);
       return c;
     };
+    const auto global_pos = [&](std::size_t i) {
+      return std::pair<std::int64_t, std::size_t>(st.x_of[i], st.row_of[i]);
+    };
+
+    struct Proposal {
+      std::size_t a = 0, b = 0;
+      double accept_u = 0.0;  // Metropolis draw, pre-generated
+      double delta = 0.0;
+      bool feasible = false;
+    };
+
+    // Read-only evaluation of swapping a and b: repack copies of their
+    // rows and cost the touched nets against hypothetical positions.
+    auto evaluate = [&](Proposal& p) {
+      const std::size_t ra = st.row_of[p.a], rb = st.row_of[p.b];
+      std::vector<std::size_t> row_u = st.rows[ra];
+      std::vector<std::size_t> row_v = ra == rb ? std::vector<std::size_t>{}
+                                                : st.rows[rb];
+      if (ra == rb) {
+        const auto ia = std::find(row_u.begin(), row_u.end(), p.a);
+        const auto ib = std::find(row_u.begin(), row_u.end(), p.b);
+        std::iter_swap(ia, ib);
+      } else {
+        *std::find(row_u.begin(), row_u.end(), p.a) = p.b;
+        *std::find(row_v.begin(), row_v.end(), p.b) = p.a;
+      }
+      auto pack_local = [&](const std::vector<std::size_t>& row,
+                            std::vector<std::int64_t>& xs) {
+        xs.resize(row.size());
+        std::int64_t x = 0;
+        for (std::size_t k = 0; k < row.size(); ++k) {
+          x = ((x + pitch - 1) / pitch) * pitch;
+          xs[k] = x;
+          x += st.width[row[k]];
+        }
+        return row.empty() || x <= fp.row_width_dbu;
+      };
+      std::vector<std::int64_t> xu, xv;
+      p.feasible = pack_local(row_u, xu) && pack_local(row_v, xv);
+      if (!p.feasible) return;
+      auto hypo_pos = [&](std::size_t i) {
+        for (std::size_t k = 0; k < row_u.size(); ++k) {
+          if (row_u[k] == i) return std::pair<std::int64_t, std::size_t>(
+              xu[k], ra);
+        }
+        for (std::size_t k = 0; k < row_v.size(); ++k) {
+          if (row_v[k] == i) return std::pair<std::int64_t, std::size_t>(
+              xv[k], rb);
+        }
+        return global_pos(i);
+      };
+      p.delta = static_cast<double>(local_cost(p.a, p.b, hypo_pos) -
+                                    local_cost(p.a, p.b, global_pos));
+    };
+
     const long total_moves =
         static_cast<long>(opts.sa_moves_per_instance) * static_cast<long>(n);
     double temperature = static_cast<double>(fp.row_width_dbu) / 2;
     const double cooling =
         std::pow(1e-3, 1.0 / std::max<long>(total_moves, 1));
-    for (long move = 0; move < total_moves; ++move) {
-      const std::size_t a = rng.next_below(n);
-      const std::size_t b = rng.next_below(n);
-      if (a == b) continue;
-      const std::int64_t before = local_cost(a, b);
-      // Swap slots.
-      const std::size_t ra = st.row_of[a], rb = st.row_of[b];
-      auto& row_a = st.rows[ra];
-      auto& row_b = st.rows[rb];
-      const auto ia = std::find(row_a.begin(), row_a.end(), a);
-      const auto ib = std::find(row_b.begin(), row_b.end(), b);
-      std::iter_swap(ia, ib);
-      std::swap(st.row_of[a], st.row_of[b]);
-      pack_row(st, ra, pitch);
-      if (rb != ra) pack_row(st, rb, pitch);
-      bool keep = true;
-      // Reject if a row overflowed.
-      for (std::size_t r : {ra, rb}) {
-        if (!st.rows[r].empty()) {
-          const std::size_t last = st.rows[r].back();
-          if (st.x_of[last] + st.width[last] > fp.row_width_dbu) keep = false;
+    const int batch = std::max(1, opts.sa_batch);
+    std::vector<Proposal> proposals;
+    std::vector<char> row_dirty(st.rows.size(), 0);
+    for (long done = 0; done < total_moves; done += batch) {
+      const auto k_count = static_cast<std::size_t>(
+          std::min<long>(batch, total_moves - done));
+      proposals.assign(k_count, Proposal{});
+      for (Proposal& p : proposals) {
+        p.a = rng.next_below(n);
+        p.b = rng.next_below(n);
+        p.accept_u = rng.next_double();
+      }
+      parallel_for(k_count, opts.parallelism,
+                   [&](std::size_t begin, std::size_t end) {
+                     for (std::size_t k = begin; k < end; ++k) {
+                       if (proposals[k].a != proposals[k].b) {
+                         evaluate(proposals[k]);
+                       }
+                     }
+                   });
+      std::fill(row_dirty.begin(), row_dirty.end(), 0);
+      for (Proposal& p : proposals) {
+        const std::size_t ra = st.row_of[p.a], rb = st.row_of[p.b];
+        // An earlier commit of this batch moved a row this proposal
+        // costed against: its parallel evaluation is stale, so redo it
+        // serially against the current state (deterministic — staleness
+        // depends only on proposal order, never on thread scheduling).
+        if (p.a != p.b && (row_dirty[ra] || row_dirty[rb])) evaluate(p);
+        const bool keep =
+            p.a != p.b && p.feasible &&
+            (p.delta <= 0 ||
+             p.accept_u < std::exp(-p.delta / temperature));
+        if (keep) {
+          auto& row_a = st.rows[ra];
+          auto& row_b = st.rows[rb];
+          const auto ia = std::find(row_a.begin(), row_a.end(), p.a);
+          const auto ib = std::find(row_b.begin(), row_b.end(), p.b);
+          std::iter_swap(ia, ib);
+          std::swap(st.row_of[p.a], st.row_of[p.b]);
+          pack_row(st, ra, pitch);
+          if (rb != ra) pack_row(st, rb, pitch);
+          row_dirty[ra] = 1;
+          row_dirty[rb] = 1;
         }
+        temperature *= cooling;
       }
-      std::int64_t after = keep ? local_cost(a, b) : 0;
-      if (keep) {
-        const double delta = static_cast<double>(after - before);
-        keep = delta <= 0 ||
-               rng.next_double() < std::exp(-delta / temperature);
-      }
-      if (!keep) {
-        const auto ja = std::find(st.rows[st.row_of[a]].begin(),
-                                  st.rows[st.row_of[a]].end(), a);
-        const auto jb = std::find(st.rows[st.row_of[b]].begin(),
-                                  st.rows[st.row_of[b]].end(), b);
-        std::iter_swap(ja, jb);
-        std::swap(st.row_of[a], st.row_of[b]);
-        pack_row(st, ra, pitch);
-        if (rb != ra) pack_row(st, rb, pitch);
-      }
-      temperature *= cooling;
     }
   }
 

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "base/parallel.h"
 #include "netlist/netlist.h"
 #include "pnr/def.h"
 
@@ -20,6 +21,15 @@ struct PlaceOptions {
   int sa_moves_per_instance = 60;
   /// Extra routing margin around the core, in track pitches.
   int margin_tracks = 8;
+  /// Candidate swaps proposed per temperature step.  All candidates of a
+  /// step are evaluated read-only (in parallel when `parallelism` allows)
+  /// against the same placement snapshot; commits then run serially in
+  /// proposal order, skipping proposals whose rows an earlier commit of
+  /// the same step already touched.  The batch structure is fixed, so the
+  /// refined placement is identical for any thread count.
+  int sa_batch = 16;
+  /// Candidate-evaluation parallelism.
+  Parallelism parallelism;
 };
 
 /// Compute die and row geometry for `nl` under `opts`.

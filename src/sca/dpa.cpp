@@ -59,12 +59,18 @@ DpaResult DpaAnalysis::analyze(std::uint32_t correct_key, int n) const {
   r.n_measurements =
       n <= 0 ? static_cast<int>(traces_.size())
              : std::min<int>(n, static_cast<int>(traces_.size()));
-  r.peak_to_peak.resize(static_cast<std::size_t>(opts_.n_key_guesses));
+  // Each key guess partitions and accumulates independently; the ranking
+  // below runs serially over the per-guess results, so the outcome is
+  // identical for any thread count.
+  r.peak_to_peak = parallel_map(
+      static_cast<std::size_t>(opts_.n_key_guesses), opts_.parallelism,
+      [&](std::size_t g) {
+        return peak_to_peak(differential_trace(static_cast<std::uint32_t>(g),
+                                               r.n_measurements));
+      });
   double best = -1.0, second = -1.0;
   for (int g = 0; g < opts_.n_key_guesses; ++g) {
-    const double pp = peak_to_peak(
-        differential_trace(static_cast<std::uint32_t>(g), r.n_measurements));
-    r.peak_to_peak[static_cast<std::size_t>(g)] = pp;
+    const double pp = r.peak_to_peak[static_cast<std::size_t>(g)];
     if (pp > best) {
       second = best;
       best = pp;

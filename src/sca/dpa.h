@@ -15,6 +15,8 @@
 #include <functional>
 #include <vector>
 
+#include "base/parallel.h"
+
 namespace secflow {
 
 /// One power measurement: the supply-current samples of one encryption and
@@ -34,6 +36,10 @@ struct DpaOptions {
   /// Disclosure requires the best guess to beat the runner-up by this
   /// relative margin.
   double margin = 0.05;
+  /// Key-guess sweep parallelism: analyze() partitions traces and
+  /// accumulates the differential trace of each guess as an independent
+  /// task, so results are bit-identical for any thread count.
+  Parallelism parallelism;
 };
 
 struct DpaResult {

@@ -3,6 +3,7 @@
 #include "base/error.h"
 #include "base/rng.h"
 #include "crypto/des.h"
+#include "sim/trace_sim.h"
 
 namespace secflow {
 namespace {
@@ -52,51 +53,56 @@ DesDpaCampaign run_des_dpa_campaign(const Netlist& nl, const CapTable& caps,
                                     bool differential) {
   PowerSimOptions opts;
   opts.precharge_inputs = differential;
-  PowerSimulator sim(nl, caps, opts);
-  Rng rng(setup.seed);
-  Rng noise_rng(setup.seed ^ 0x5CA1AB1Eu);
 
-  drive_value(sim, "k", 6, setup.key, differential);
-
-  DesDpaCampaign campaign{
-      DpaAnalysis(des_selection(setup.select_bit, setup.sbox)), {}};
-
-  for (int i = 0; i < setup.warmup_cycles; ++i) {
-    drive_value(sim, "pl", 4, static_cast<std::uint32_t>(rng.next_below(16)),
-                differential);
-    drive_value(sim, "pr", 6, static_cast<std::uint32_t>(rng.next_below(64)),
-                differential);
+  // One task per measurement.  The task replays a four-cycle
+  // mini-campaign on a private simulator so the recorded cycle carries
+  // exactly the register activity the attack targets:
+  //   cycle 1  the previous plaintext reaches the PL/PR registers,
+  //   cycle 2  the target plaintext arrives at the register inputs,
+  //   cycle 3  PL/PR transition previous -> target   (the recorded trace),
+  //   cycle 4  the ciphertext reaches the CL/CR output registers.
+  const TraceTask task = [&setup, differential](PowerSimulator& sim, Rng& rng,
+                                                int) {
+    const auto prev_pl = static_cast<std::uint32_t>(rng.next_below(16));
+    const auto prev_pr = static_cast<std::uint32_t>(rng.next_below(64));
+    const auto pl = static_cast<std::uint32_t>(rng.next_below(16));
+    const auto pr = static_cast<std::uint32_t>(rng.next_below(64));
+    drive_value(sim, "k", 6, setup.key, differential);
+    drive_value(sim, "pl", 4, prev_pl, differential);
+    drive_value(sim, "pr", 6, prev_pr, differential);
+    sim.settle();
     sim.run_cycle();
-  }
-
-  // The CL/CR registers delay the observable by one cycle: the trace of
-  // cycle i (where the predicted PL bits live) pairs with the ciphertext
-  // read during cycle i+1.
-  DpaMeasurement pending;
-  bool have_pending = false;
-  for (int i = 0; i < setup.n_measurements + 1; ++i) {
-    drive_value(sim, "pl", 4, static_cast<std::uint32_t>(rng.next_below(16)),
-                differential);
-    drive_value(sim, "pr", 6, static_cast<std::uint32_t>(rng.next_below(64)),
-                differential);
-    CycleTrace trace = sim.run_cycle();
-    if (have_pending) {
-      const std::uint32_t cl = read_value(sim, "cl", 4, differential);
-      const std::uint32_t cr = read_value(sim, "cr", 6, differential);
-      pending.ciphertext = cl | (cr << 4);
-      campaign.dpa.add_measurement(std::move(pending));
-    }
-    pending = DpaMeasurement{};
-    pending.samples = std::move(trace.current_ma);
+    drive_value(sim, "pl", 4, pl, differential);
+    drive_value(sim, "pr", 6, pr, differential);
+    sim.run_cycle();
+    SimTrace out;
+    out.cycle = sim.run_cycle();
+    sim.run_cycle();
+    const std::uint32_t cl = read_value(sim, "cl", 4, differential);
+    const std::uint32_t cr = read_value(sim, "cr", 6, differential);
+    out.observable = cl | (cr << 4);
     if (setup.noise_ma > 0.0) {
-      for (double& s : pending.samples) {
-        s += setup.noise_ma * noise_rng.next_gaussian();
+      for (double& s : out.cycle.current_ma) {
+        s += setup.noise_ma * rng.next_gaussian();
       }
     }
-    have_pending = true;
-    campaign.cycle_energies_pj.push_back(trace.energy_pj);
+    return out;
+  };
+
+  std::vector<SimTrace> traces =
+      simulate_traces(nl, caps, opts, setup.n_measurements, setup.seed, task,
+                      setup.parallelism);
+
+  DpaOptions dpa_opts;
+  dpa_opts.parallelism = setup.parallelism;
+  DesDpaCampaign campaign{
+      DpaAnalysis(des_selection(setup.select_bit, setup.sbox), dpa_opts), {}};
+  campaign.cycle_energies_pj.reserve(traces.size());
+  for (SimTrace& t : traces) {
+    campaign.cycle_energies_pj.push_back(t.cycle.energy_pj);
+    campaign.dpa.add_measurement(
+        DpaMeasurement{std::move(t.cycle.current_ma), t.observable});
   }
-  campaign.cycle_energies_pj.pop_back();  // keep n_measurements entries
   return campaign;
 }
 

@@ -5,10 +5,16 @@
 // Works on any implementation of the Fig 4 interface — the regular
 // single-ended netlist or the WDDL differential netlist — given the
 // netlist and its extracted switched-capacitance table.
+//
+// Each measurement is an independent simulation task (previous plaintext,
+// target plaintext, and measurement noise all drawn from the per-trace
+// RNG stream Rng::stream(seed, i)), so the campaign parallelizes across
+// traces with bit-identical results at any thread count.
 #pragma once
 
 #include <cstdint>
 
+#include "base/parallel.h"
 #include "netlist/netlist.h"
 #include "sca/dpa.h"
 #include "sim/power_sim.h"
@@ -20,11 +26,12 @@ struct DesDpaSetup {
   int select_bit = 2;          ///< "3rd bit of PL"
   int sbox = 1;
   int n_measurements = 2000;   ///< the paper's trace count
-  int warmup_cycles = 4;
   std::uint64_t seed = 2025;
   /// Gaussian measurement noise added per sample [mA] (the paper's traces
   /// include measurement noise; 0 disables).
   double noise_ma = 0.0;
+  /// Trace-synthesis and key-guess-sweep parallelism.
+  Parallelism parallelism;
 };
 
 /// Selection function for the Fig 4 ciphertext packing (cl | cr << 4).

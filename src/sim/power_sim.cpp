@@ -21,6 +21,7 @@ PowerSimulator::PowerSimulator(const Netlist& nl, CapTable caps,
       net_val_(nl.n_nets(), 0),
       mid_val_(nl.n_nets(), 0),
       net_next_(nl.n_nets(), 0),
+      pending_(nl.n_nets(), 0),
       flop_state_(nl.n_instances(), 0),
       input_val_(nl.n_ports(), 0) {
   cap_of_.resize(nl.n_nets());
@@ -78,8 +79,14 @@ double PowerSimulator::gate_delay(InstId driver, NetId out) const {
 }
 
 void PowerSimulator::schedule(double t, NetId net, bool value) {
-  if (net_next_[net.index()] == (value ? 1 : 0)) return;
-  net_next_[net.index()] = value ? 1 : 0;
+  const std::size_t idx = net.index();
+  const char v = value ? 1 : 0;
+  // Dedup against the value the net will hold once the queue drains: the
+  // last scheduled value while events are in flight, the settled value
+  // otherwise (net_next_ goes stale between event bursts).
+  if (pending_[idx] == 0 ? net_val_[idx] == v : net_next_[idx] == v) return;
+  net_next_[idx] = v;
+  ++pending_[idx];
   queue_.push(Event{t, net, value, seq_++});
 }
 
@@ -108,6 +115,7 @@ void PowerSimulator::deposit_charge(CycleTrace& trace, double t_ps,
 void PowerSimulator::apply_event(const Event& ev, CycleTrace* trace,
                                  double t_offset) {
   const std::size_t idx = ev.net.index();
+  --pending_[idx];
   if (net_val_[idx] == (ev.value ? 1 : 0)) return;
   net_val_[idx] = ev.value ? 1 : 0;
   if (trace != nullptr) {
@@ -261,6 +269,24 @@ void PowerSimulator::settle() {
     if (p.dir != PinDir::kInput) continue;
     if (clock_port_.valid() && pid == clock_port_) continue;
     schedule(now_ps_, p.net, input_val_[pid.index()] != 0);
+  }
+  // Event-driven simulation only re-evaluates gates whose inputs change;
+  // seed every combinational output once so gates whose inputs happen to
+  // match the all-zero reset state still assume consistent values.
+  for (InstId iid : nl_.instance_ids()) {
+    const CellType& type = nl_.cell_of(iid);
+    if (type.kind != CellKind::kCombinational) continue;
+    const Instance& in = nl_.instance(iid);
+    const NetId out = in.conns[static_cast<std::size_t>(type.output_pin())];
+    if (!out.valid()) continue;
+    std::uint64_t bits = 0;
+    int k = 0;
+    for (int pin : type.input_pins()) {
+      const NetId net = in.conns[static_cast<std::size_t>(pin)];
+      if (net.valid() && net_val_[net.index()]) bits |= std::uint64_t{1} << k;
+      ++k;
+    }
+    schedule(now_ps_, out, type.function.eval(bits));
   }
   while (!queue_.empty()) {
     const Event ev = queue_.top();

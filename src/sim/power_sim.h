@@ -106,6 +106,7 @@ class PowerSimulator {
   std::vector<char> net_val_;
   std::vector<char> mid_val_;     // snapshot at T/2 of the last cycle
   std::vector<char> net_next_;    // last scheduled value per net
+  std::vector<int> pending_;      // in-flight events per net
   std::vector<char> flop_state_;
   std::vector<char> input_val_;   // per port
   std::vector<double> cap_of_;    // resolved per net

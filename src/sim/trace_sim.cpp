@@ -1,0 +1,22 @@
+#include "sim/trace_sim.h"
+
+#include "base/error.h"
+
+namespace secflow {
+
+std::vector<SimTrace> simulate_traces(const Netlist& nl, const CapTable& caps,
+                                      const PowerSimOptions& opts,
+                                      int n_traces, std::uint64_t master_seed,
+                                      const TraceTask& task,
+                                      const Parallelism& par) {
+  SECFLOW_CHECK(n_traces >= 0, "negative trace count");
+  SECFLOW_CHECK(task != nullptr, "simulate_traces needs a task");
+  return parallel_map(
+      static_cast<std::size_t>(n_traces), par, [&](std::size_t i) {
+        PowerSimulator sim(nl, caps, opts);
+        Rng rng = Rng::stream(master_seed, static_cast<std::uint64_t>(i));
+        return task(sim, rng, static_cast<int>(i));
+      });
+}
+
+}  // namespace secflow

@@ -1,0 +1,41 @@
+// Bulk trace synthesis: simulate N independent stimuli of one netlist,
+// one task per trace, in parallel.
+//
+// Each task owns a private PowerSimulator (fresh flop/net state) and a
+// private RNG stream split from the master seed (Rng::stream(seed, i)),
+// so trace i is bit-identical no matter the thread count — the
+// determinism contract the DPA campaigns and the regression tests rely
+// on.  The shared Netlist is read-only during simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "sim/power_sim.h"
+
+namespace secflow {
+
+/// Output of one simulated stimulus: the recorded supply-current cycle
+/// plus the packed observable the attacker reads (circuit-specific).
+struct SimTrace {
+  CycleTrace cycle;
+  std::uint32_t observable = 0;
+};
+
+/// One task: drive `sim` (fresh state, keyed RNG stream) and return the
+/// recorded trace.  Must not touch anything but its arguments.
+using TraceTask = std::function<SimTrace(PowerSimulator& sim, Rng& rng,
+                                         int index)>;
+
+/// Simulate `n_traces` independent tasks over `nl`.  Results are indexed
+/// by task, identical for every thread count (including 1 == serial).
+std::vector<SimTrace> simulate_traces(const Netlist& nl, const CapTable& caps,
+                                      const PowerSimOptions& opts,
+                                      int n_traces, std::uint64_t master_seed,
+                                      const TraceTask& task,
+                                      const Parallelism& par = {});
+
+}  // namespace secflow

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <set>
 
 #include "base/error.h"
 #include "base/geometry.h"
 #include "base/id.h"
+#include "base/parallel.h"
 #include "base/rng.h"
 #include "base/strings.h"
 #include "base/units.h"
@@ -210,6 +213,86 @@ TEST(Strings, IsIdentifier) {
 TEST(Strings, Strfmt) {
   EXPECT_EQ(strfmt("%d/%s/%.2f", 3, "x", 1.5), "3/x/1.50");
   EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(Parallel, ResolvedThreadsAlwaysPositive) {
+  EXPECT_GE(Parallelism{}.resolved_threads(), 1);
+  EXPECT_EQ((Parallelism{1}.resolved_threads()), 1);
+  EXPECT_EQ((Parallelism{5}.resolved_threads()), 5);
+  EXPECT_GE(default_thread_count(), 1);
+}
+
+TEST(Parallel, ForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(n, Parallelism{threads}, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(Parallel, MapIsDeterministicAcrossThreadCounts) {
+  auto run = [](int threads) {
+    return parallel_map(512, Parallelism{threads}, [](std::size_t i) {
+      // Stochastic body with a per-index stream: the parallel contract.
+      Rng rng = Rng::stream(99, i);
+      return rng.next_u64() ^ (i * 0x9E3779B97F4A7C15ull);
+    });
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(Parallel, ExceptionPropagatesToCaller) {
+  EXPECT_THROW(parallel_for(100, Parallelism{4},
+                            [&](std::size_t, std::size_t) {
+                              throw Error("boom in chunk");
+                            }),
+               Error);
+  // The pool survives a throwing batch and runs subsequent work.
+  std::atomic<int> ran{0};
+  parallel_for(100, Parallelism{4}, [&](std::size_t b, std::size_t e) {
+    ran.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(Parallel, NestedCallsRunInlineWithoutDeadlock) {
+  // Inner parallel_for on a pool worker must not wait on pool slots the
+  // outer loop already occupies — it runs serial-inline instead.
+  std::atomic<long> total{0};
+  parallel_for(16, Parallelism{8}, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      parallel_for(50, Parallelism{8}, [&](std::size_t ib, std::size_t ie) {
+        total.fetch_add(static_cast<long>(ie - ib));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 16 * 50);
+}
+
+TEST(Parallel, MapResultsMatchSerialComputation) {
+  const auto squares =
+      parallel_map(100, Parallelism{4}, [](std::size_t i) { return i * i; });
+  for (std::size_t i = 0; i < squares.size(); ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(Rng, StreamsAreDeterministicAndIndependent) {
+  // Same (seed, stream) -> same sequence.
+  Rng a = Rng::stream(123, 7);
+  Rng b = Rng::stream(123, 7);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  // Different streams of one seed must not collide or correlate trivially.
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t s = 0; s < 256; ++s) {
+    firsts.insert(Rng::stream(123, s).next_u64());
+  }
+  EXPECT_EQ(firsts.size(), 256u);
+  // A different master seed reshuffles every stream.
+  EXPECT_NE(Rng::stream(123, 0).next_u64(), Rng::stream(124, 0).next_u64());
 }
 
 }  // namespace

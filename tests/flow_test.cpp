@@ -51,7 +51,7 @@ TEST_F(DesFlows, ArtifactsAreConsistent) {
   secure_->fat.validate();
   secure_->diff.validate();
   EXPECT_EQ(secure_->fat_def.components.size(), secure_->fat.n_instances());
-  EXPECT_EQ(secure_->diff_def.components.size(), secure_->fat.n_instances());
+  EXPECT_EQ(secure_->def.components.size(), secure_->fat.n_instances());
 }
 
 TEST_F(DesFlows, SecureFlowPassesItsChecks) {
@@ -82,7 +82,7 @@ TEST_F(DesFlows, FatRoutingIsCleanAndDecompositionSymmetric) {
                          4 * fat_pitch)
           .ok);
   const Process018 pr;
-  EXPECT_TRUE(check_differential_symmetry(secure_->diff_def,
+  EXPECT_TRUE(check_differential_symmetry(secure_->def,
                                           um_to_dbu(pr.wire_pitch_um))
                   .ok);
 }
@@ -232,10 +232,10 @@ TEST(FlowSmall, ShieldedPairsEmitShieldGeometry) {
   const SecureFlowResult base = run_secure_flow(c, lib, plain);
   const SecureFlowResult sh = run_secure_flow(c, lib, shielded);
   // Shield net present, carrying one wire per fat segment.
-  const DefNet* vss = sh.diff_def.find_net("VSS");
+  const DefNet* vss = sh.def.find_net("VSS");
   ASSERT_NE(vss, nullptr);
   EXPECT_FALSE(vss->wires.empty());
-  EXPECT_EQ(base.diff_def.find_net("VSS"), nullptr);
+  EXPECT_EQ(base.def.find_net("VSS"), nullptr);
   // The paper's tradeoff: shielding costs silicon area.
   EXPECT_GT(sh.die_area_um2(), base.die_area_um2());
   // Shield wires never appear in the netlist, so they never switch; the
