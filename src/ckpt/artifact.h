@@ -1,0 +1,57 @@
+// Versioned checkpoint container for stage artifacts.
+//
+// One artifact file holds everything a pipeline stage produced, as named
+// sections of raw bytes (Verilog text, DEF text, parasitics tables, ...):
+//
+//   SECFLOW-CKPT <version> <kind> <key>
+//   SECTION <name> <nbytes>
+//   <nbytes of payload>
+//   ...
+//   CHECKSUM <hex>
+//   END
+//
+// `kind` is the stage name, `key` the 16-hex-digit content-address the
+// store files it under.  The checksum (FNV-1a over kind, key and every
+// section) plus the explicit byte counts and END marker make truncated or
+// corrupted files detectable: parse_artifact throws ParseError instead of
+// returning partial data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace secflow {
+
+/// The on-disk format version; bump when any serializer changes shape so
+/// stale caches read as misses instead of parse errors.
+inline constexpr int kCkptFormatVersion = 1;
+
+struct Artifact {
+  std::string kind;        ///< stage name ("synthesis", "routing", ...)
+  std::uint64_t key = 0;   ///< content-address (hash of the stage's inputs)
+  std::vector<std::pair<std::string, std::string>> sections;
+
+  Artifact() = default;
+  Artifact(std::string kind, std::uint64_t key)
+      : kind(std::move(kind)), key(key) {}
+
+  void add(std::string name, std::string payload);
+  /// Section payload by name; throws Error when absent.
+  const std::string& section(std::string_view name) const;
+  const std::string* find_section(std::string_view name) const;
+};
+
+/// Serialize to the container format (deterministic byte-for-byte).
+std::string write_artifact(const Artifact& a);
+
+/// Parse and fully verify a container; throws ParseError on any truncation,
+/// corruption, checksum mismatch or version skew.
+Artifact parse_artifact(const std::string& text);
+
+void write_artifact_file(const Artifact& a, const std::string& path);
+Artifact parse_artifact_file(const std::string& path);
+
+}  // namespace secflow

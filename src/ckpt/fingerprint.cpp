@@ -1,0 +1,114 @@
+#include "ckpt/fingerprint.h"
+
+#include "ckpt/hash.h"
+
+namespace secflow {
+
+std::uint64_t fingerprint(const AigCircuit& circuit) {
+  Hasher h;
+  h.add(circuit.name).add(circuit.clock);
+  const Aig& aig = circuit.aig;
+  h.add(static_cast<std::uint64_t>(aig.n_nodes()));
+  for (std::uint32_t node = 0; node < aig.n_nodes(); ++node) {
+    if (aig.is_input(node)) {
+      h.add("i").add(aig.input_name(node));
+    } else if (aig.is_and(node)) {
+      h.add("a")
+          .add(static_cast<std::uint64_t>(aig.fanin0(node)))
+          .add(static_cast<std::uint64_t>(aig.fanin1(node)));
+    } else {
+      h.add("c");
+    }
+  }
+  h.add(static_cast<std::uint64_t>(circuit.inputs.size()));
+  for (const CircuitBit& b : circuit.inputs) {
+    h.add(b.name).add(static_cast<std::uint64_t>(b.lit));
+  }
+  h.add(static_cast<std::uint64_t>(circuit.outputs.size()));
+  for (const CircuitBit& b : circuit.outputs) {
+    h.add(b.name).add(static_cast<std::uint64_t>(b.lit));
+  }
+  h.add(static_cast<std::uint64_t>(circuit.regs.size()));
+  for (const CircuitReg& r : circuit.regs) {
+    h.add(r.name)
+        .add(static_cast<std::uint64_t>(r.q))
+        .add(static_cast<std::uint64_t>(r.next));
+  }
+  return h.digest();
+}
+
+std::uint64_t fingerprint(const CellLibrary& lib) {
+  Hasher h;
+  h.add(lib.name()).add(static_cast<std::uint64_t>(lib.size()));
+  for (const CellTypeId id : lib.all()) {
+    const CellType& c = lib.cell(id);
+    h.add(c.name)
+        .add(static_cast<int>(c.kind))
+        .add(c.function.n_inputs())
+        .add(c.function.table())
+        .add(c.area_um2)
+        .add(c.width_um)
+        .add(c.height_um)
+        .add(c.intrinsic_delay_ps)
+        .add(c.drive_res_kohm)
+        .add(c.internal_cap_ff)
+        .add(c.negedge_clock)
+        .add(static_cast<std::uint64_t>(c.pins.size()));
+    for (const PinDef& p : c.pins) {
+      h.add(p.name).add(static_cast<int>(p.dir)).add(p.cap_ff);
+    }
+  }
+  return h.digest();
+}
+
+std::uint64_t fingerprint(const Process018& p) {
+  return Hasher()
+      .add(p.vdd_v)
+      .add(p.wire_c_area_ff_per_um2)
+      .add(p.wire_c_fringe_ff_per_um)
+      .add(p.wire_c_couple_ff_per_um)
+      .add(p.wire_r_ohm_per_sq)
+      .add(p.via_r_ohm)
+      .add(p.via_c_ff)
+      .add(p.wire_width_um)
+      .add(p.wire_pitch_um)
+      .digest();
+}
+
+std::uint64_t fingerprint(const SynthConstraints& c) {
+  Hasher h;
+  h.add(static_cast<std::uint64_t>(c.allowed_cells.size()));
+  for (const std::string& cell : c.allowed_cells) h.add(cell);
+  h.add(c.max_cut_size).add(c.max_cuts_per_node);
+  return h.digest();
+}
+
+std::uint64_t fingerprint(const PlaceOptions& o) {
+  return Hasher()
+      .add(o.aspect_ratio)
+      .add(o.fill_factor)
+      .add(o.seed)
+      .add(o.sa_moves_per_instance)
+      .add(o.margin_tracks)
+      .add(o.sa_batch)
+      .digest();
+}
+
+std::uint64_t fingerprint(const RouteOptions& o) {
+  Hasher h;
+  h.add(o.via_cost).add(o.max_iterations);
+  h.add(static_cast<std::uint64_t>(o.skip_nets.size()));
+  for (const std::string& n : o.skip_nets) h.add(n);
+  return h.digest();
+}
+
+std::uint64_t fingerprint(const ExtractOptions& o) {
+  return Hasher()
+      .add(fingerprint(o.process))
+      .add(o.coupling_max_sep_um)
+      .add(o.variation_sigma)
+      .add(o.seed)
+      .digest();
+}
+
+}  // namespace secflow

@@ -1,0 +1,39 @@
+// Content fingerprints of the flow's cache-key inputs.
+//
+// A stage's cache key is a hash chain: H(schema, flow kind, circuit,
+// library) -> synthesis -> ... -> extraction, each link folding in exactly
+// the options that influence that stage's artifact.  Anything that cannot
+// change the produced bytes (thread counts, verbosity) is deliberately
+// excluded, so a run with different parallelism still hits the cache —
+// the flow is bit-identical for any thread count by design.
+#pragma once
+
+#include <cstdint>
+
+#include "base/units.h"
+#include "extract/extract.h"
+#include "netlist/cell_library.h"
+#include "pnr/place.h"
+#include "pnr/route.h"
+#include "synth/circuit.h"
+#include "synth/techmap.h"
+
+namespace secflow {
+
+/// Structural hash of the AIG plus its named boundary (inputs, outputs,
+/// registers, module name, clock).
+std::uint64_t fingerprint(const AigCircuit& circuit);
+
+/// Every cell's logical, physical and electrical data, in library order.
+std::uint64_t fingerprint(const CellLibrary& lib);
+
+std::uint64_t fingerprint(const Process018& p);
+std::uint64_t fingerprint(const SynthConstraints& c);
+/// Excludes PlaceOptions::parallelism (does not change the placement).
+std::uint64_t fingerprint(const PlaceOptions& o);
+/// Excludes RouteOptions::verbose (logging only).
+std::uint64_t fingerprint(const RouteOptions& o);
+/// Excludes ExtractOptions::parallelism; includes the process constants.
+std::uint64_t fingerprint(const ExtractOptions& o);
+
+}  // namespace secflow

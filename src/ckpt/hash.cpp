@@ -1,0 +1,78 @@
+#include "ckpt/hash.h"
+
+#include <cstring>
+
+#include "base/error.h"
+
+namespace secflow {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+}  // namespace
+
+Hasher& Hasher::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h_ ^= p[i];
+    h_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+Hasher& Hasher::add(std::string_view s) {
+  add(static_cast<std::uint64_t>(s.size()));
+  return bytes(s.data(), s.size());
+}
+
+Hasher& Hasher::add(std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  return bytes(buf, 8);
+}
+
+Hasher& Hasher::add(std::int64_t v) {
+  return add(static_cast<std::uint64_t>(v));
+}
+
+Hasher& Hasher::add(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return add(bits);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  return Hasher().bytes(s.data(), s.size()).digest();
+}
+
+std::string hash_hex(std::uint64_t h) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t parse_hash_hex(std::string_view hex) {
+  if (hex.size() != 16) {
+    throw ParseError("hash", "expected 16 hex digits, got '" +
+                                 std::string(hex) + "'");
+  }
+  std::uint64_t h = 0;
+  for (const char c : hex) {
+    int d = 0;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else {
+      throw ParseError("hash", std::string("bad hex digit '") + c + "'");
+    }
+    h = (h << 4) | static_cast<std::uint64_t>(d);
+  }
+  return h;
+}
+
+}  // namespace secflow

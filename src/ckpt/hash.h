@@ -1,0 +1,47 @@
+// Stable content hashing for the checkpoint subsystem.
+//
+// Stage-artifact cache keys and file checksums both need a hash that is
+// identical across runs, processes and thread counts.  FNV-1a over a
+// canonical byte stream gives that: every value is folded in with a fixed
+// width (strings length-prefixed, numbers as 8-byte little-endian bit
+// patterns), so two keys collide only when the hashed content matches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace secflow {
+
+/// Incremental FNV-1a (64-bit).  Chain `add` calls and read `digest`.
+class Hasher {
+ public:
+  Hasher& bytes(const void* data, std::size_t n);
+  /// Length-prefixed, so add("ab").add("c") != add("a").add("bc").
+  Hasher& add(std::string_view s);
+  /// String literals must hash as text — without this overload the
+  /// pointer-to-bool standard conversion would win over string_view.
+  Hasher& add(const char* s) { return add(std::string_view(s)); }
+  Hasher& add(std::uint64_t v);
+  Hasher& add(std::int64_t v);
+  Hasher& add(int v) { return add(static_cast<std::int64_t>(v)); }
+  Hasher& add(bool v) { return add(static_cast<std::int64_t>(v ? 1 : 0)); }
+  /// Hashes the IEEE-754 bit pattern (exact, no formatting round trip).
+  Hasher& add(double v);
+
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ull;  // FNV offset basis
+};
+
+/// One-shot hash of a byte string.
+std::uint64_t fnv1a(std::string_view s);
+
+/// 16 lowercase hex digits (fixed width, zero padded).
+std::string hash_hex(std::uint64_t h);
+
+/// Inverse of hash_hex; throws ParseError on malformed input.
+std::uint64_t parse_hash_hex(std::string_view hex);
+
+}  // namespace secflow

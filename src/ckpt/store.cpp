@@ -1,0 +1,63 @@
+#include "ckpt/store.h"
+
+#include <filesystem>
+
+#include "base/error.h"
+#include "ckpt/hash.h"
+
+namespace secflow {
+
+namespace fs = std::filesystem;
+
+ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {
+  SECFLOW_CHECK(!dir_.empty(), "ArtifactStore: directory must not be empty");
+}
+
+std::string ArtifactStore::path_for(std::string_view stage,
+                                    std::uint64_t key) const {
+  return (fs::path(dir_) /
+          (std::string(stage) + "-" + hash_hex(key) + ".ckpt"))
+      .string();
+}
+
+bool ArtifactStore::contains(std::string_view stage,
+                             std::uint64_t key) const {
+  std::error_code ec;
+  return fs::is_regular_file(path_for(stage, key), ec);
+}
+
+std::optional<Artifact> ArtifactStore::load(std::string_view stage,
+                                            std::uint64_t key) const {
+  if (!contains(stage, key)) return std::nullopt;
+  try {
+    Artifact a = parse_artifact_file(path_for(stage, key));
+    // A decodable file under the wrong name is still not this entry.
+    if (a.kind != stage || a.key != key) return std::nullopt;
+    return a;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+void ArtifactStore::save(const Artifact& a) const {
+  SECFLOW_CHECK(!a.kind.empty(), "ArtifactStore::save: artifact has no kind");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  SECFLOW_CHECK(!ec, "ArtifactStore: cannot create directory " + dir_);
+  const std::string final_path = path_for(a.kind, a.key);
+  const std::string tmp_path = final_path + ".tmp";
+  write_artifact_file(a, tmp_path);
+  fs::rename(tmp_path, final_path, ec);
+  SECFLOW_CHECK(!ec, "ArtifactStore: cannot rename into " + final_path);
+}
+
+std::size_t ArtifactStore::size() const {
+  std::error_code ec;
+  std::size_t n = 0;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".ckpt") ++n;
+  }
+  return n;
+}
+
+}  // namespace secflow

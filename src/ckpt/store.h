@@ -1,0 +1,50 @@
+// Content-addressed stage-artifact store.
+//
+// Files live flat under one directory as `<stage>-<key>.ckpt`, where the
+// key is the 16-hex-digit hash of everything that determines the stage's
+// output (upstream chain + stage options + library fingerprint).  Lookups
+// therefore never need invalidation logic: a changed input changes the
+// key, and the old entry is simply never addressed again.
+//
+// `load` is cache-lenient — a missing or undecodable file reads as a miss
+// (nullopt) so a damaged cache degrades to recomputation, never to a wrong
+// artifact (the container checksum guarantees that).  Use
+// parse_artifact_file directly when corruption should be an error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ckpt/artifact.h"
+
+namespace secflow {
+
+class ArtifactStore {
+ public:
+  /// The directory is created lazily on the first save.
+  explicit ArtifactStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  std::string path_for(std::string_view stage, std::uint64_t key) const;
+
+  bool contains(std::string_view stage, std::uint64_t key) const;
+
+  /// The artifact for (stage, key), or nullopt when absent or undecodable.
+  std::optional<Artifact> load(std::string_view stage,
+                               std::uint64_t key) const;
+
+  /// Persist `a` under (a.kind, a.key), atomically (write temp + rename) so
+  /// a crashed writer never leaves a truncated entry under the final name.
+  void save(const Artifact& a) const;
+
+  /// Number of .ckpt entries currently in the store directory.
+  std::size_t size() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace secflow

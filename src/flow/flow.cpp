@@ -2,9 +2,16 @@
 
 #include <chrono>
 #include <sstream>
+#include <utility>
 
 #include "base/error.h"
+#include "ckpt/fingerprint.h"
+#include "ckpt/hash.h"
+#include "ckpt/serialize.h"
+#include "ckpt/store.h"
 #include "netlist/netlist_ops.h"
+#include "netlist/verilog_parser.h"
+#include "netlist/verilog_writer.h"
 
 namespace secflow {
 namespace {
@@ -48,6 +55,79 @@ FlowOptions resolve_parallelism(const FlowOptions& opts) {
   return o;
 }
 
+std::size_t stage_idx(FlowStage s) { return static_cast<std::size_t>(s); }
+
+/// Per-run cache driver: records keys and outcomes in StageTimings, loads
+/// hits from the store, persists misses, and enforces resume_from (a stage
+/// before the resume point must hit — recomputing it would defeat the
+/// point of resuming).
+class StageCache {
+ public:
+  StageCache(const FlowOptions& o, StageTimings& t) : o_(o), t_(t) {
+    if (!o.cache_dir.empty()) store_.emplace(o.cache_dir);
+  }
+
+  /// Cache lookup for stage `s` under `key`; the artifact on a hit.
+  std::optional<Artifact> begin(FlowStage s, std::uint64_t key) {
+    t_.cache_key[stage_idx(s)] = key;
+    if (!store_) {
+      t_.cache[stage_idx(s)] = CacheOutcome::kDisabled;
+      return std::nullopt;
+    }
+    std::optional<Artifact> a = store_->load(flow_stage_name(s), key);
+    if (a) {
+      t_.cache[stage_idx(s)] = CacheOutcome::kHit;
+      return a;
+    }
+    SECFLOW_CHECK(!before_resume(s),
+                  std::string("FlowOptions::resume_from: no cached ") +
+                      flow_stage_name(s) + " artifact in " + o_.cache_dir +
+                      " for key " + hash_hex(key) +
+                      " — run the upstream stages without resume_from first");
+    t_.cache[stage_idx(s)] = CacheOutcome::kMiss;
+    return std::nullopt;
+  }
+
+  /// Persist the artifact computed for a missed stage (no-op otherwise).
+  void finish(FlowStage s, Artifact a) {
+    if (!store_ || t_.cache[stage_idx(s)] != CacheOutcome::kMiss) return;
+    a.kind = flow_stage_name(s);
+    a.key = t_.cache_key[stage_idx(s)];
+    store_->save(a);
+  }
+
+  bool stop_after(FlowStage s) const {
+    return o_.stop_after && *o_.stop_after == s;
+  }
+
+ private:
+  bool before_resume(FlowStage s) const {
+    return o_.resume_from && stage_idx(s) < stage_idx(*o_.resume_from);
+  }
+
+  const FlowOptions& o_;
+  StageTimings& t_;
+  std::optional<ArtifactStore> store_;
+};
+
+void reject_secure_only_stage(const std::optional<FlowStage>& s,
+                              const char* which) {
+  if (!s) return;
+  SECFLOW_CHECK(
+      *s != FlowStage::kSubstitution && *s != FlowStage::kDecomposition,
+      std::string("FlowOptions: ") + which + " = " + flow_stage_name(*s) +
+          " names a secure-only stage; the regular flow does not run it");
+}
+
+Netlist take_netlist(std::optional<Netlist>&& n,
+                     const std::shared_ptr<const CellLibrary>& lib) {
+  return n ? std::move(*n) : Netlist("(not run)", lib);
+}
+
+DefDesign take_def(std::optional<DefDesign>&& d) {
+  return d ? std::move(*d) : DefDesign{};
+}
+
 void append_common(std::ostringstream& os, const FlowArtifacts& r) {
   os << "  die:         " << r.die_area_um2() << " um^2\n";
   os << "  wirelength:  " << dbu_to_um(r.def.total_wirelength()) << " um, "
@@ -55,9 +135,37 @@ void append_common(std::ostringstream& os, const FlowArtifacts& r) {
   os << "  runtime:     " << r.timings.total_ms() << " ms ("
      << r.timings.n_threads
      << (r.timings.n_threads == 1 ? " thread)\n" : " threads)\n");
+  if (r.timings.cache_hits() > 0) {
+    os << "  checkpoints: " << r.timings.cache_hits() << " stage(s) loaded, "
+       << r.timings.cache_misses() << " computed\n";
+  }
 }
 
 }  // namespace
+
+const char* flow_stage_name(FlowStage s) {
+  switch (s) {
+    case FlowStage::kSynthesis: return "synthesis";
+    case FlowStage::kSubstitution: return "substitution";
+    case FlowStage::kPlacement: return "placement";
+    case FlowStage::kRouting: return "routing";
+    case FlowStage::kDecomposition: return "decomposition";
+    case FlowStage::kExtraction: return "extraction";
+  }
+  return "?";
+}
+
+int StageTimings::cache_hits() const {
+  int n = 0;
+  for (const CacheOutcome c : cache) n += (c == CacheOutcome::kHit) ? 1 : 0;
+  return n;
+}
+
+int StageTimings::cache_misses() const {
+  int n = 0;
+  for (const CacheOutcome c : cache) n += (c == CacheOutcome::kMiss) ? 1 : 0;
+  return n;
+}
 
 void FlowOptions::validate() const {
   SECFLOW_CHECK(
@@ -80,6 +188,17 @@ void FlowOptions::validate() const {
                     place.parallelism.n_threads >= 0 &&
                     extract.parallelism.n_threads >= 0,
                 "FlowOptions: thread counts must be >= 0 (0 = auto)");
+  SECFLOW_CHECK(!(resume_from && cache_dir.empty()),
+                "FlowOptions: resume_from requires cache_dir — the skipped "
+                "stages' artifacts must come from the checkpoint store");
+  SECFLOW_CHECK(!resume_from || *resume_from != FlowStage::kSynthesis,
+                "FlowOptions: resume_from = synthesis is just a full run; "
+                "leave it unset");
+  SECFLOW_CHECK(!(resume_from && stop_after &&
+                  static_cast<int>(*stop_after) <
+                      static_cast<int>(*resume_from)),
+                "FlowOptions: stop_after precedes resume_from — no stage "
+                "would run");
 }
 
 SynthConstraints wddl_synth_constraints() {
@@ -94,32 +213,117 @@ RegularFlowResult run_regular_flow(const AigCircuit& circuit,
                                    std::shared_ptr<const CellLibrary> library,
                                    const FlowOptions& opts) {
   opts.validate();
+  reject_secure_only_stage(opts.resume_from, "resume_from");
+  reject_secure_only_stage(opts.stop_after, "stop_after");
   const FlowOptions o = resolve_parallelism(opts);
   Stopwatch sw;
   StageTimings t;
   t.n_threads = o.parallelism.resolved_threads();
+  StageCache cache(o, t);
 
-  Netlist rtl = technology_map(circuit, library, o.synth);
-  rtl.validate();
+  // Cache-key chain: every stage key hashes the full upstream chain, so a
+  // changed early input re-keys (and re-runs) everything downstream while
+  // an unchanged prefix keeps hitting.
+  std::uint64_t chain = Hasher()
+                            .add(kCkptFormatVersion)
+                            .add("regular")
+                            .add(fingerprint(circuit))
+                            .add(fingerprint(*library))
+                            .digest();
+
+  // Logic synthesis -> rtl.v.
+  chain = Hasher().add(chain).add("synthesis").add(fingerprint(o.synth))
+              .digest();
+  std::optional<Netlist> rtl;
+  if (const auto a = cache.begin(FlowStage::kSynthesis, chain)) {
+    rtl = parse_verilog(a->section("rtl.v"), library);
+  } else {
+    rtl = technology_map(circuit, library, o.synth);
+    rtl->validate();
+    Artifact out;
+    out.add("rtl.v", write_verilog(*rtl));
+    cache.finish(FlowStage::kSynthesis, std::move(out));
+  }
   t.synthesis_ms = sw.lap_ms();
+  bool done = cache.stop_after(FlowStage::kSynthesis);
 
-  LefLibrary lef = generate_lef(*library, LefGenOptions{o.extract.process});
-  DefDesign def = place_design(rtl, lef, o.place);
-  t.place_ms = sw.lap_ms();
+  // Placement.
+  LefLibrary lef;
+  std::optional<DefDesign> def;
+  if (!done) {
+    lef = generate_lef(*library, LefGenOptions{o.extract.process});
+    chain = Hasher()
+                .add(chain)
+                .add("placement")
+                .add(fingerprint(o.place))
+                .add(fingerprint(o.extract.process))
+                .digest();
+    if (const auto a = cache.begin(FlowStage::kPlacement, chain)) {
+      def = parse_def(a->section("placed.def"));
+    } else {
+      def = place_design(*rtl, lef, o.place);
+      Artifact out;
+      out.add("placed.def", write_def(*def));
+      cache.finish(FlowStage::kPlacement, std::move(out));
+    }
+    t.place_ms = sw.lap_ms();
+    done = cache.stop_after(FlowStage::kPlacement);
+  }
 
-  RouteStats rs = o.route_mode == RouteMode::kQuickLShaped
-                      ? route_design_quick(rtl, lef, def)
-                      : route_design(rtl, lef, def, o.route);
-  t.route_ms = sw.lap_ms();
+  // Routing.
+  RouteStats rs;
+  if (!done) {
+    chain = Hasher()
+                .add(chain)
+                .add("routing")
+                .add(fingerprint(o.route))
+                .add(static_cast<int>(o.route_mode))
+                .digest();
+    if (const auto a = cache.begin(FlowStage::kRouting, chain)) {
+      def = parse_def(a->section("routed.def"));
+      rs = parse_route_stats(a->section("route_stats"));
+    } else {
+      rs = o.route_mode == RouteMode::kQuickLShaped
+               ? route_design_quick(*rtl, lef, *def)
+               : route_design(*rtl, lef, *def, o.route);
+      Artifact out;
+      out.add("routed.def", write_def(*def));
+      out.add("route_stats", write_route_stats(rs));
+      cache.finish(FlowStage::kRouting, std::move(out));
+    }
+    t.route_ms = sw.lap_ms();
+    done = cache.stop_after(FlowStage::kRouting);
+  }
 
-  Extraction ex = extract_parasitics(def, rtl, o.extract);
-  CapTable caps = build_cap_table(rtl, ex);
-  t.extraction_ms = sw.lap_ms();
-  TimingReport timing = analyze_timing(rtl, caps);
+  // Extraction + switched-cap table + STA.
+  Extraction ex;
+  CapTable caps;
+  TimingReport timing;
+  if (!done) {
+    chain = Hasher().add(chain).add("extraction").add(fingerprint(o.extract))
+                .digest();
+    if (const auto a = cache.begin(FlowStage::kExtraction, chain)) {
+      ex = parse_extraction(a->section("extraction"));
+      caps = parse_cap_table(a->section("caps"));
+      timing = parse_timing_report(a->section("timing"));
+    } else {
+      ex = extract_parasitics(*def, *rtl, o.extract);
+      caps = build_cap_table(*rtl, ex);
+      timing = analyze_timing(*rtl, caps);
+      Artifact out;
+      out.add("extraction", write_extraction(ex));
+      out.add("caps", write_cap_table(caps));
+      out.add("timing", write_timing_report(timing));
+      cache.finish(FlowStage::kExtraction, std::move(out));
+    }
+    t.extraction_ms = sw.lap_ms();
+  }
 
-  return RegularFlowResult{{std::move(rtl), std::move(lef), std::move(def),
-                            rs, std::move(ex), std::move(caps), t,
-                            std::move(timing)}};
+  const FlowStage completed = o.stop_after.value_or(FlowStage::kExtraction);
+  return RegularFlowResult{{std::move(*rtl), std::move(lef),
+                            take_def(std::move(def)), rs, std::move(ex),
+                            std::move(caps), t, std::move(timing),
+                            completed}};
 }
 
 SecureFlowResult run_secure_flow(const AigCircuit& circuit,
@@ -129,91 +333,223 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
   Stopwatch sw;
   StageTimings t;
 
-  // Logic synthesis, restricted to WDDL-supported gates.
   FlowOptions o = resolve_parallelism(opts);
   t.n_threads = o.parallelism.resolved_threads();
   if (o.synth.allowed_cells.empty()) o.synth = wddl_synth_constraints();
-  Netlist rtl = technology_map(circuit, library, o.synth);
-  rtl.validate();
+  StageCache cache(o, t);
+
+  std::uint64_t chain = Hasher()
+                            .add(kCkptFormatVersion)
+                            .add("secure")
+                            .add(fingerprint(circuit))
+                            .add(fingerprint(*library))
+                            .digest();
+
+  // Logic synthesis, restricted to WDDL-supported gates.
+  chain = Hasher().add(chain).add("synthesis").add(fingerprint(o.synth))
+              .digest();
+  std::optional<Netlist> rtl;
+  if (const auto a = cache.begin(FlowStage::kSynthesis, chain)) {
+    rtl = parse_verilog(a->section("rtl.v"), library);
+  } else {
+    rtl = technology_map(circuit, library, o.synth);
+    rtl->validate();
+    Artifact out;
+    out.add("rtl.v", write_verilog(*rtl));
+    cache.finish(FlowStage::kSynthesis, std::move(out));
+  }
   t.synthesis_ms = sw.lap_ms();
+  bool done = cache.stop_after(FlowStage::kSynthesis);
 
-  // Cell substitution: rtl.v -> fat.v + differential netlist.
-  auto wlib = std::make_shared<WddlLibrary>(library);
-  SubstitutionResult sub = substitute_cells(rtl, *wlib);
-  Netlist diff = expand_differential(sub.fat, *wlib);
-  t.substitution_ms = sw.lap_ms();
+  // Cell substitution: rtl.v -> fat.v + differential netlist, verified
+  // equivalent (LEC) before anything downstream consumes it.  The artifact
+  // carries the fat cell library too, so a hit can reparse fat.v without
+  // regenerating the compound inventory.
+  std::shared_ptr<WddlLibrary> wlib;
+  std::optional<Netlist> fat;
+  std::optional<Netlist> diff;
+  SubstitutionStats sub_stats;
+  LecResult lec;
+  if (!done) {
+    chain = Hasher().add(chain).add("substitution").digest();
+    if (const auto a = cache.begin(FlowStage::kSubstitution, chain)) {
+      std::shared_ptr<const CellLibrary> fat_lib =
+          std::make_shared<CellLibrary>(
+              parse_cell_library(a->section("fat_lib")));
+      fat = parse_verilog(a->section("fat.v"), fat_lib);
+      diff = parse_verilog(a->section("diff.v"), library);
+      sub_stats = parse_substitution_stats(a->section("stats"));
+      lec = parse_lec_result(a->section("lec"));
+    } else {
+      wlib = std::make_shared<WddlLibrary>(library);
+      SubstitutionResult sub = substitute_cells(*rtl, *wlib);
+      fat = std::move(sub.fat);
+      sub_stats = sub.stats;
+      diff = expand_differential(*fat, *wlib);
+      lec = check_equivalence(*rtl, *fat);
+      SECFLOW_CHECK(lec.equivalent,
+                    "secure flow LEC failed: " +
+                        (lec.mismatches.empty() ? std::string("?")
+                                                : lec.mismatches[0].what));
+      Artifact out;
+      out.add("fat_lib", write_cell_library(fat->library()));
+      out.add("fat.v", write_verilog(*fat));
+      out.add("diff.v", write_verilog(*diff));
+      out.add("stats", write_substitution_stats(sub_stats));
+      out.add("lec", write_lec_result(lec));
+      cache.finish(FlowStage::kSubstitution, std::move(out));
+    }
+    t.substitution_ms = sw.lap_ms();
+    done = done || cache.stop_after(FlowStage::kSubstitution);
+  }
 
-  // Verification: fat netlist is logically equivalent to the original.
-  const LecResult lec = check_equivalence(rtl, sub.fat);
-  SECFLOW_CHECK(lec.equivalent,
-                "secure flow LEC failed: " +
-                    (lec.mismatches.empty() ? std::string("?")
-                                            : lec.mismatches[0].what));
+  // Fat place: doubled pitch and width — tripled with shielded pairs,
+  // reserving a third track for the shield wire.
+  LefLibrary fat_lef;
+  std::optional<DefDesign> fat_def;
+  if (!done) {
+    LefGenOptions fat_gen{o.extract.process};
+    fat_gen.wire_scale = o.shielded_pairs ? 3.0 : 2.0;
+    fat_lef = generate_lef(fat->library(), fat_gen);
+    chain = Hasher()
+                .add(chain)
+                .add("placement")
+                .add(fingerprint(o.place))
+                .add(fingerprint(o.extract.process))
+                .add(o.shielded_pairs)
+                .digest();
+    if (const auto a = cache.begin(FlowStage::kPlacement, chain)) {
+      fat_def = parse_def(a->section("placed.def"));
+    } else {
+      fat_def = place_design(*fat, fat_lef, o.place);
+      Artifact out;
+      out.add("placed.def", write_def(*fat_def));
+      cache.finish(FlowStage::kPlacement, std::move(out));
+    }
+    t.place_ms = sw.lap_ms();
+    done = cache.stop_after(FlowStage::kPlacement);
+  }
 
-  // Fat place & route: doubled pitch and width — tripled with shielded
-  // pairs, reserving a third track for the shield wire.
-  LefGenOptions fat_gen{o.extract.process};
-  fat_gen.wire_scale = o.shielded_pairs ? 3.0 : 2.0;
-  LefLibrary fat_lef = generate_lef(*wlib->fat_library(), fat_gen);
-  DefDesign fat_def = place_design(sub.fat, fat_lef, o.place);
-  t.place_ms = sw.lap_ms();
-  RouteStats rs = o.route_mode == RouteMode::kQuickLShaped
-                      ? route_design_quick(sub.fat, fat_lef, fat_def)
-                      : route_design(sub.fat, fat_lef, fat_def, o.route);
-  t.route_ms = sw.lap_ms();
+  // Fat route.
+  RouteStats rs;
+  if (!done) {
+    chain = Hasher()
+                .add(chain)
+                .add("routing")
+                .add(fingerprint(o.route))
+                .add(static_cast<int>(o.route_mode))
+                .digest();
+    if (const auto a = cache.begin(FlowStage::kRouting, chain)) {
+      fat_def = parse_def(a->section("routed.def"));
+      rs = parse_route_stats(a->section("route_stats"));
+    } else {
+      rs = o.route_mode == RouteMode::kQuickLShaped
+               ? route_design_quick(*fat, fat_lef, *fat_def)
+               : route_design(*fat, fat_lef, *fat_def, o.route);
+      Artifact out;
+      out.add("routed.def", write_def(*fat_def));
+      out.add("route_stats", write_route_stats(rs));
+      cache.finish(FlowStage::kRouting, std::move(out));
+    }
+    t.route_ms = sw.lap_ms();
+    done = cache.stop_after(FlowStage::kRouting);
+  }
 
-  // Interconnect decomposition + stream-out with the differential library.
+  // Interconnect decomposition + stream-out verification with the
+  // differential library (re-verified results ride in the checkpoint).
   const Process018& pr = o.extract.process;
-  DecomposeOptions dopts;
-  dopts.add_shields = o.shielded_pairs;
-  const std::string clk = clock_net_name(sub.fat);
-  if (!clk.empty()) dopts.single_ended_nets.push_back(clk);
-  DefDesign diff_def = decompose_interconnect(
-      fat_def, um_to_dbu(pr.wire_pitch_um), um_to_dbu(pr.wire_width_um),
-      dopts);
-  LefLibrary diff_lef =
-      make_diff_lef(fat_lef, pr.wire_pitch_um, pr.wire_width_um);
-  t.decomposition_ms = sw.lap_ms();
+  LefLibrary diff_lef;
+  std::optional<DefDesign> diff_def;
+  CheckResult stream_check;
+  if (!done) {
+    diff_lef = make_diff_lef(fat_lef, pr.wire_pitch_um, pr.wire_width_um);
+    chain = Hasher()
+                .add(chain)
+                .add("decomposition")
+                .add(pr.wire_pitch_um)
+                .add(pr.wire_width_um)
+                .add(o.shielded_pairs)
+                .digest();
+    if (const auto a = cache.begin(FlowStage::kDecomposition, chain)) {
+      diff_def = parse_def(a->section("diff.def"));
+      stream_check = parse_check_result(a->section("stream_check"));
+    } else {
+      DecomposeOptions dopts;
+      dopts.add_shields = o.shielded_pairs;
+      const std::string clk = clock_net_name(*fat);
+      if (!clk.empty()) dopts.single_ended_nets.push_back(clk);
+      diff_def = decompose_interconnect(*fat_def, um_to_dbu(pr.wire_pitch_um),
+                                        um_to_dbu(pr.wire_width_um), dopts);
 
-  // Stream-out verification (the paper's "importing the differential gate
-  // level netlist" check): rail symmetry plus per-rail pin connectivity
-  // against the differential LEF.
-  CheckResult stream_check = check_differential_symmetry(
-      diff_def, um_to_dbu(pr.wire_pitch_um));
-  SECFLOW_CHECK(stream_check.ok, "decomposition symmetry check failed");
-  const CheckResult rail_check = check_stream_out(
-      sub.fat, diff_lef, diff_def, 5 * fat_lef.track_pitch_dbu());
-  SECFLOW_CHECK(rail_check.ok,
-                "stream-out rail connectivity check failed: " +
-                    (rail_check.issues.empty()
-                         ? std::string("?")
-                         : rail_check.issues[0].net + " " +
-                               rail_check.issues[0].what));
-  stream_check.nets_checked += rail_check.nets_checked;
-  stream_check.pins_checked += rail_check.pins_checked;
+      // Stream-out verification (the paper's "importing the differential
+      // gate level netlist" check): rail symmetry plus per-rail pin
+      // connectivity against the differential LEF.
+      stream_check = check_differential_symmetry(
+          *diff_def, um_to_dbu(pr.wire_pitch_um));
+      SECFLOW_CHECK(stream_check.ok, "decomposition symmetry check failed");
+      const CheckResult rail_check = check_stream_out(
+          *fat, diff_lef, *diff_def, 5 * fat_lef.track_pitch_dbu());
+      SECFLOW_CHECK(rail_check.ok,
+                    "stream-out rail connectivity check failed: " +
+                        (rail_check.issues.empty()
+                             ? std::string("?")
+                             : rail_check.issues[0].net + " " +
+                                   rail_check.issues[0].what));
+      stream_check.nets_checked += rail_check.nets_checked;
+      stream_check.pins_checked += rail_check.pins_checked;
 
-  Extraction ex = extract_parasitics(diff_def, diff, o.extract);
-  CapTable caps = build_cap_table(diff, ex);
-  t.extraction_ms = sw.lap_ms();
+      Artifact out;
+      out.add("diff.def", write_def(*diff_def));
+      out.add("stream_check", write_check_result(stream_check));
+      cache.finish(FlowStage::kDecomposition, std::move(out));
+    }
+    t.decomposition_ms = sw.lap_ms();
+    done = cache.stop_after(FlowStage::kDecomposition);
+  }
 
-  // The evaluate wave must settle within the first half cycle so the WDDL
-  // masters capture valid differential data at the falling edge.
-  TimingReport timing = analyze_timing(diff, caps);
-  const double half_cycle_ps = SamplingSpec{}.cycle_s() * 1e12 / 2;
-  SECFLOW_CHECK(timing.critical_delay_ps < half_cycle_ps,
-                "WDDL evaluation (" +
-                    std::to_string(timing.critical_delay_ps) +
-                    " ps) does not fit the evaluate half-cycle");
+  // Extraction + switched-cap table + STA on the differential design.
+  Extraction ex;
+  CapTable caps;
+  TimingReport timing;
+  if (!done) {
+    chain = Hasher().add(chain).add("extraction").add(fingerprint(o.extract))
+                .digest();
+    if (const auto a = cache.begin(FlowStage::kExtraction, chain)) {
+      ex = parse_extraction(a->section("extraction"));
+      caps = parse_cap_table(a->section("caps"));
+      timing = parse_timing_report(a->section("timing"));
+    } else {
+      ex = extract_parasitics(*diff_def, *diff, o.extract);
+      caps = build_cap_table(*diff, ex);
+      timing = analyze_timing(*diff, caps);
+      Artifact out;
+      out.add("extraction", write_extraction(ex));
+      out.add("caps", write_cap_table(caps));
+      out.add("timing", write_timing_report(timing));
+      cache.finish(FlowStage::kExtraction, std::move(out));
+    }
+    t.extraction_ms = sw.lap_ms();
 
+    // The evaluate wave must settle within the first half cycle so the
+    // WDDL masters capture valid differential data at the falling edge.
+    // Cheap, so re-checked even when the timing came from the cache.
+    const double half_cycle_ps = SamplingSpec{}.cycle_s() * 1e12 / 2;
+    SECFLOW_CHECK(timing.critical_delay_ps < half_cycle_ps,
+                  "WDDL evaluation (" +
+                      std::to_string(timing.critical_delay_ps) +
+                      " ps) does not fit the evaluate half-cycle");
+  }
+
+  const FlowStage completed = o.stop_after.value_or(FlowStage::kExtraction);
   return SecureFlowResult{
-      {std::move(rtl), std::move(diff_lef), std::move(diff_def), rs,
-       std::move(ex), std::move(caps), t, std::move(timing)},
+      {std::move(*rtl), std::move(diff_lef), take_def(std::move(diff_def)),
+       rs, std::move(ex), std::move(caps), t, std::move(timing), completed},
       wlib,
-      std::move(sub.fat),
-      std::move(diff),
+      take_netlist(std::move(fat), library),
+      take_netlist(std::move(diff), library),
       std::move(fat_lef),
-      std::move(fat_def),
-      sub.stats,
+      take_def(std::move(fat_def)),
+      sub_stats,
       lec,
       stream_check};
 }

@@ -17,7 +17,10 @@
 // SecureFlowResult adds the intermediate fat/differential artifacts.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "base/parallel.h"
@@ -45,6 +48,30 @@ enum class RouteMode {
   kQuickLShaped  ///< L-shaped, no conflict checks (scale benchmarks only)
 };
 
+/// The pipeline stages of Fig 1, in execution order.  kSubstitution and
+/// kDecomposition exist only in the secure flow; the regular flow rejects
+/// them as resume/stop points.
+enum class FlowStage {
+  kSynthesis = 0,
+  kSubstitution,
+  kPlacement,
+  kRouting,
+  kDecomposition,
+  kExtraction,
+};
+inline constexpr int kNumFlowStages = 6;
+
+/// Stage name ("synthesis", ...) — also the checkpoint file prefix.
+const char* flow_stage_name(FlowStage s);
+
+/// What the stage-artifact cache did for one stage of one run.
+enum class CacheOutcome {
+  kNotRun,    ///< stage never executed (stopped earlier, or N/A to the flow)
+  kDisabled,  ///< executed with no cache_dir configured
+  kMiss,      ///< executed and its artifact saved to the cache
+  kHit,       ///< artifact deserialized from the cache; stage skipped
+};
+
 struct FlowOptions {
   SynthConstraints synth;
   PlaceOptions place;        ///< paper defaults: aspect 1, fill 80 %
@@ -58,6 +85,21 @@ struct FlowOptions {
   /// Parallelism applied to every parallel stage (placement annealing,
   /// extraction) whose own option struct leaves the thread count on auto.
   Parallelism parallelism;
+
+  /// Stage-artifact checkpoint directory.  Non-empty enables per-stage
+  /// caching: each stage's cache key hashes the upstream chain plus its own
+  /// options, a hit deserializes the stage's artifacts and skips the work,
+  /// a miss computes and saves them.  Empty disables checkpointing.
+  std::string cache_dir;
+  /// First stage to actually execute.  Every stage before it MUST load from
+  /// cache_dir (Error otherwise) — use after an earlier run with stop_after
+  /// or a warm cache.  Requires cache_dir; kSynthesis is rejected (that is
+  /// just a full run — leave unset).
+  std::optional<FlowStage> resume_from;
+  /// Last stage to execute; the flow returns after checkpointing it.
+  /// Artifacts of later stages stay default-initialized — check
+  /// FlowArtifacts::completed_through before using them.
+  std::optional<FlowStage> stop_after;
 
   /// Reject inconsistent combinations with a descriptive Error before the
   /// flow spends minutes producing a silently wrong artifact.  Called by
@@ -74,11 +116,25 @@ struct StageTimings {
   double extraction_ms = 0.0;
   /// Threads the flow's parallel stages resolved to (1 = serial).
   int n_threads = 1;
+  /// Per-stage cache verdict, indexed by FlowStage.  On a kHit the stage's
+  /// *_ms above measures deserialization, not computation.
+  std::array<CacheOutcome, kNumFlowStages> cache{};
+  /// Per-stage cache keys (0 for stages that never ran), indexed by
+  /// FlowStage — the content addresses the checkpoint files live under.
+  std::array<std::uint64_t, kNumFlowStages> cache_key{};
 
   double total_ms() const {
     return synthesis_ms + substitution_ms + place_ms + route_ms +
            decomposition_ms + extraction_ms;
   }
+  CacheOutcome outcome(FlowStage s) const {
+    return cache[static_cast<std::size_t>(s)];
+  }
+  std::uint64_t key(FlowStage s) const {
+    return cache_key[static_cast<std::size_t>(s)];
+  }
+  int cache_hits() const;
+  int cache_misses() const;
 };
 
 /// Artifacts common to both flows.  For the regular flow these are the
@@ -93,6 +149,10 @@ struct FlowArtifacts {
   CapTable caps;        ///< switched-capacitance table for the simulator
   StageTimings timings;
   TimingReport timing;  ///< STA on the extracted design
+  /// Last stage that actually produced artifacts (kExtraction for a full
+  /// run; earlier under FlowOptions::stop_after — later members are then
+  /// default-initialized placeholders).
+  FlowStage completed_through = FlowStage::kExtraction;
 
   double die_area_um2() const { return def.die_area_um2(); }
 };
@@ -105,6 +165,10 @@ struct SecureFlowResult : FlowArtifacts {
   // netlist, and `timing` is STA on it.  WDDL evaluates in the first half
   // cycle (masters capture at the falling edge), so the critical delay
   // must fit period/2; run_secure_flow throws when it does not.
+  //
+  // `wlib` is null when the substitution stage was loaded from cache: the
+  // fat netlist then carries a deserialized fat library
+  // (fat.library_ptr()) instead of a live compound inventory.
   std::shared_ptr<WddlLibrary> wlib;
   Netlist fat;                       ///< fat.v
   Netlist diff;                      ///< differential netlist

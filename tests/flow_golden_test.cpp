@@ -1,0 +1,117 @@
+// Golden-hash regression test for the flow's stage artifacts.
+//
+// Runs the secure flow on a small fixed design with checkpointing enabled,
+// hashes every stage's checkpoint file, and compares against the hashes
+// checked in at tests/golden/flow_small.golden.  Any behavioural drift in
+// synthesis, substitution, placement, routing, decomposition or extraction
+// shows up as a per-stage hash mismatch.
+//
+// When a change is *intentional*, regenerate the golden file with:
+//
+//   SECFLOW_REGEN_GOLDEN=1 ./build/tests/flow_golden_test
+//
+// and commit the updated tests/golden/flow_small.golden.
+#include "flow/flow.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "ckpt/hash.h"
+#include "ckpt/store.h"
+#include "liberty/builtin_lib.h"
+#include "synth/hdl.h"
+
+namespace secflow {
+namespace {
+
+namespace fs = std::filesystem;
+
+// SECFLOW_GOLDEN_FILE is the absolute source-tree path of the golden file,
+// injected by tests/CMakeLists.txt so regeneration can write it in place.
+#ifndef SECFLOW_GOLDEN_FILE
+#error "tests/CMakeLists.txt must define SECFLOW_GOLDEN_FILE"
+#endif
+
+constexpr const char* kSmallDesign = R"(
+  module small (input clk, input [3:0] a, input [3:0] b, output [3:0] y);
+    reg [3:0] r;
+    wire [3:0] m;
+    assign m = (a & b) ^ r;
+    always @(posedge clk) r <= m | a;
+    assign y = r ^ b;
+  endmodule)";
+
+std::map<std::string, std::string> run_and_hash() {
+  const fs::path dir = fs::path(::testing::TempDir()) / "flow_golden_cache";
+  fs::remove_all(dir);
+  FlowOptions opts;
+  opts.cache_dir = dir.string();
+  const SecureFlowResult r =
+      run_secure_flow(parse_hdl(kSmallDesign), builtin_stdcell018(), opts);
+
+  const ArtifactStore store(dir.string());
+  std::map<std::string, std::string> hashes;
+  for (int i = 0; i < kNumFlowStages; ++i) {
+    const FlowStage s = static_cast<FlowStage>(i);
+    const std::string path =
+        store.path_for(flow_stage_name(s), r.timings.key(s));
+    std::ifstream f(path, std::ios::binary);
+    EXPECT_TRUE(f.good()) << "missing checkpoint " << path;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    hashes[flow_stage_name(s)] = hash_hex(fnv1a(ss.str()));
+  }
+  fs::remove_all(dir);
+  return hashes;
+}
+
+std::map<std::string, std::string> read_golden(const std::string& path) {
+  std::ifstream f(path);
+  std::map<std::string, std::string> golden;
+  std::string stage, hex;
+  while (f >> stage >> hex) golden[stage] = hex;
+  return golden;
+}
+
+TEST(FlowGolden, StageArtifactsMatchCheckedInHashes) {
+  const std::map<std::string, std::string> hashes = run_and_hash();
+
+  if (std::getenv("SECFLOW_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(SECFLOW_GOLDEN_FILE, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << SECFLOW_GOLDEN_FILE;
+    for (const auto& [stage, hex] : hashes) out << stage << ' ' << hex << '\n';
+    GTEST_SKIP() << "regenerated " << SECFLOW_GOLDEN_FILE;
+  }
+
+  const std::map<std::string, std::string> golden =
+      read_golden(SECFLOW_GOLDEN_FILE);
+  ASSERT_FALSE(golden.empty())
+      << "no golden data at " << SECFLOW_GOLDEN_FILE
+      << " — regenerate with SECFLOW_REGEN_GOLDEN=1 ./flow_golden_test";
+
+  // Per-stage comparison so drift reads as "routing changed", not just
+  // "something changed".
+  for (const auto& [stage, hex] : hashes) {
+    const auto it = golden.find(stage);
+    ASSERT_NE(it, golden.end()) << "golden file lacks stage " << stage;
+    EXPECT_EQ(hex, it->second)
+        << "stage '" << stage << "' artifact drifted from golden.\n"
+        << "If this change is intentional, regenerate with:\n"
+        << "  SECFLOW_REGEN_GOLDEN=1 ./build/tests/flow_golden_test";
+  }
+  EXPECT_EQ(golden.size(), hashes.size());
+}
+
+TEST(FlowGolden, HashesAreReproducibleWithinABuild) {
+  // The golden comparison is only meaningful if two runs of the same build
+  // agree with each other.
+  EXPECT_EQ(run_and_hash(), run_and_hash());
+}
+
+}  // namespace
+}  // namespace secflow
