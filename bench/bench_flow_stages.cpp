@@ -4,11 +4,15 @@
 // a cache hit), and a routing-option change (only routing onward re-runs).
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 
 #include "bench_util.h"
 #include "ckpt/hash.h"
 #include "netlist/netlist_ops.h"
 #include "netlist/verilog_writer.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 using namespace secflow;
 
@@ -18,16 +22,6 @@ double wall_ms(const std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - t0)
       .count();
-}
-
-const char* outcome_str(CacheOutcome c) {
-  switch (c) {
-    case CacheOutcome::kNotRun: return "-";
-    case CacheOutcome::kDisabled: return "off";
-    case CacheOutcome::kMiss: return "miss";
-    case CacheOutcome::kHit: return "HIT";
-  }
-  return "?";
 }
 
 }  // namespace
@@ -97,14 +91,14 @@ int main() {
   const SecureFlowResult changed = run_secure_flow(circuit, lib, rerouted);
   const double changed_ms = wall_ms(t0);
 
-  bench::row("%-16s %-6s %-6s %-12s %-18s", "stage", "cold", "warm",
+  bench::row("%-16s %-7s %-7s %-12s %-18s", "stage", "cold", "warm",
              "route change", "cache key (warm)");
   for (int i = 0; i < kNumFlowStages; ++i) {
     const FlowStage s = static_cast<FlowStage>(i);
-    bench::row("%-16s %-6s %-6s %-12s %-18s", flow_stage_name(s),
-               outcome_str(secure.timings.outcome(s)),
-               outcome_str(warm.timings.outcome(s)),
-               outcome_str(changed.timings.outcome(s)),
+    bench::row("%-16s %-7s %-7s %-12s %-18s", flow_stage_name(s),
+               cache_outcome_name(secure.timings.outcome(s)),
+               cache_outcome_name(warm.timings.outcome(s)),
+               cache_outcome_name(changed.timings.outcome(s)),
                hash_hex(warm.timings.key(s)).c_str());
   }
   bench::blank();
@@ -115,5 +109,71 @@ int main() {
   bench::row("via_cost change   %9.1f ms  (%d stages hit, %d re-run)",
              changed_ms, changed.timings.cache_hits(),
              changed.timings.cache_misses());
+
+  // --- observability: disabled-probe overhead + machine-readable report ----
+  bench::header("obs", "observability cost and the JSON flow report");
+
+  // Per-call price of a suppressed probe — what the flow's hot loops pay
+  // when tracing/metrics are off (one relaxed atomic load each).
+  constexpr int kProbes = 1'000'000;
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kProbes; ++i) {
+    Span probe("probe", "bench");
+    (void)probe;
+  }
+  const double span_ns = wall_ms(t0) * 1e6 / kProbes;
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kProbes; ++i) Metrics::global().add("probe");
+  const double counter_ns = wall_ms(t0) * 1e6 / kProbes;
+
+  // An instrumented (uncached, metrics+tracing on) secure flow, to count
+  // how many probes one run actually fires and to produce the report.
+  FlowOptions uncached;
+  Tracer::global().set_enabled(true);
+  Tracer::global().clear();
+  Metrics::global().set_enabled(true);
+  Metrics::global().reset();
+  t0 = std::chrono::steady_clock::now();
+  const SecureFlowResult traced = run_secure_flow(circuit, lib, uncached);
+  const double traced_ms = wall_ms(t0);
+  const MetricsSnapshot snap = Metrics::global().snapshot();
+  const std::size_t n_spans = Tracer::global().n_events();
+  Tracer::global().set_enabled(false);
+  Metrics::global().set_enabled(false);
+
+  const auto ctr = [&](const char* name) -> std::uint64_t {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+  };
+  // add() call sites fired by one run: 3 per SA batch, 2 per route
+  // iteration, 1 per routed design and per checkpoint-store access.
+  const std::uint64_t n_counts =
+      ctr("pnr.place.sa_batches") * 3 + ctr("pnr.route.iterations") * 2 +
+      ctr("ckpt.store.hits") + ctr("ckpt.store.misses") +
+      ctr("ckpt.store.saves") + 1;
+  // Projected cost of the same probes when DISABLED, as a fraction of the
+  // uninstrumented flow: (#spans + #counter bumps) * per-probe ns.
+  const double disabled_cost_ms =
+      (static_cast<double>(n_spans) * span_ns +
+       static_cast<double>(n_counts) * counter_ns) /
+      1e6;
+  bench::row("suppressed probe   %8.2f ns/span  %8.2f ns/counter", span_ns,
+             counter_ns);
+  bench::row("one secure flow    %8zu spans   %8llu counter bumps", n_spans,
+             static_cast<unsigned long long>(n_counts));
+  bench::row("disabled overhead  %8.3f ms of %.1f ms flow (%.3f%%)",
+             disabled_cost_ms, traced_ms,
+             100.0 * disabled_cost_ms / traced_ms);
+  bench::row("(measured projection, not asserted; target < 2%%)");
+
+  // The unified machine-readable report for the traced run.
+  FlowReport report = build_flow_report(traced);
+  attach_metrics(report, snap);
+  const std::string report_path = "bench_flow_stages_out/flow_report.json";
+  std::ofstream rf(report_path);
+  rf << flow_report_json(report);
+  bench::row("\nflow report: %s (%zu stages, %zu metric counters)",
+             report_path.c_str(), report.stages.size(),
+             report.metrics.counters.size());
   return 0;
 }

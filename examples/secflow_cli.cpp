@@ -1,8 +1,11 @@
 // Command-line driver for the secure digital design flow.
 //
 //   secflow_cli flow <design.v> [--regular] [--out DIR] [--quick-route]
+//                    [--report FILE] [--trace FILE] [--log LEVEL]
 //       run the secure (default) or regular flow on a mini-HDL design and
-//       write every Fig 1 artifact into DIR (default: <module>_out/)
+//       write every Fig 1 artifact into DIR (default: <module>_out/);
+//       --report dumps the machine-readable JSON flow report, --trace a
+//       Chrome trace-event file (open in chrome://tracing or Perfetto)
 //   secflow_cli report <design.v>
 //       synthesize only and print netlist statistics + timing
 //   secflow_cli wddl-lib
@@ -10,6 +13,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "base/error.h"
@@ -19,6 +23,10 @@
 #include "liberty/liberty_parser.h"
 #include "netlist/netlist_ops.h"
 #include "netlist/verilog_writer.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "sta/sta.h"
 #include "synth/hdl.h"
 #include "wddl/wddl_library.h"
@@ -31,6 +39,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: secflow_cli flow <design.v> [--regular] [--out DIR] "
                "[--quick-route]\n"
+               "                   [--report FILE] [--trace FILE] "
+               "[--log LEVEL]\n"
                "       secflow_cli report <design.v>\n"
                "       secflow_cli wddl-lib\n");
   return 2;
@@ -42,6 +52,9 @@ int cmd_flow(int argc, char** argv) {
   bool regular = false;
   bool quick = false;
   std::string out_dir;
+  std::string report_path;
+  std::string trace_path;
+  FlowOptions opts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--regular") == 0) {
       regular = true;
@@ -49,6 +62,17 @@ int cmd_flow(int argc, char** argv) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
+      const auto lvl = parse_log_level(argv[++i]);
+      if (!lvl) {
+        std::fprintf(stderr, "unknown log level: %s\n", argv[i]);
+        return usage();
+      }
+      opts.log_level = *lvl;
     } else {
       return usage();
     }
@@ -56,11 +80,16 @@ int cmd_flow(int argc, char** argv) {
   const AigCircuit circuit = parse_hdl_file(input);
   if (out_dir.empty()) out_dir = circuit.name + "_out";
   const auto lib = builtin_stdcell018();
-  FlowOptions opts;
   if (quick) opts.route_mode = RouteMode::kQuickLShaped;
+
+  // Observability is opt-in: collecting spans/metrics costs nothing to the
+  // artifacts (bit-identical either way) but does cost memory and time.
+  if (!trace_path.empty()) Tracer::global().set_enabled(true);
+  if (!report_path.empty()) Metrics::global().set_enabled(true);
 
   std::filesystem::create_directories(out_dir);
   const std::filesystem::path out = out_dir;
+  FlowReport rep;
   if (regular) {
     const RegularFlowResult r = run_regular_flow(circuit, lib, opts);
     std::printf("%s", flow_report(r).c_str());
@@ -68,6 +97,7 @@ int cmd_flow(int argc, char** argv) {
     write_lef_file(r.lef, (out / "lib.lef").string());
     write_def_file(r.def, (out / "design.def").string());
     std::printf("%s", timing_report_text(r.timing).c_str());
+    rep = build_flow_report(r);
   } else {
     const SecureFlowResult r = run_secure_flow(circuit, lib, opts);
     std::printf("%s", flow_report(r).c_str());
@@ -79,6 +109,19 @@ int cmd_flow(int argc, char** argv) {
     write_def_file(r.fat_def, (out / "fat.def").string());
     write_def_file(r.def, (out / "diff.def").string());
     std::printf("%s", timing_report_text(r.timing).c_str());
+    rep = build_flow_report(r);
+  }
+  if (!report_path.empty()) {
+    attach_metrics(rep, Metrics::global().snapshot());
+    std::ofstream f(report_path);
+    f << flow_report_json(rep);
+    SECFLOW_CHECK(f.good(), "cannot write report to " + report_path);
+    std::printf("flow report written to %s\n", report_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    Tracer::global().write_chrome_trace(trace_path);
+    std::printf("trace written to %s (open in chrome://tracing)\n",
+                trace_path.c_str());
   }
   std::printf("artifacts written to %s/\n", out_dir.c_str());
   return 0;

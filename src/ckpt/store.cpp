@@ -4,6 +4,8 @@
 
 #include "base/error.h"
 #include "ckpt/hash.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace secflow {
 
@@ -28,6 +30,15 @@ bool ArtifactStore::contains(std::string_view stage,
 
 std::optional<Artifact> ArtifactStore::load(std::string_view stage,
                                             std::uint64_t key) const {
+  std::optional<Artifact> a = load_impl(stage, key);
+  Metrics::global().add(a ? "ckpt.store.hits" : "ckpt.store.misses");
+  SECFLOW_LOG_DEBUG("ckpt", a ? "cache hit" : "cache miss",
+                    LogField("stage", stage), LogField("key", hash_hex(key)));
+  return a;
+}
+
+std::optional<Artifact> ArtifactStore::load_impl(std::string_view stage,
+                                                 std::uint64_t key) const {
   if (!contains(stage, key)) return std::nullopt;
   try {
     Artifact a = parse_artifact_file(path_for(stage, key));
@@ -49,6 +60,9 @@ void ArtifactStore::save(const Artifact& a) const {
   write_artifact_file(a, tmp_path);
   fs::rename(tmp_path, final_path, ec);
   SECFLOW_CHECK(!ec, "ArtifactStore: cannot rename into " + final_path);
+  Metrics::global().add("ckpt.store.saves");
+  SECFLOW_LOG_DEBUG("ckpt", "artifact saved", LogField("stage", a.kind),
+                    LogField("key", hash_hex(a.key)));
 }
 
 std::size_t ArtifactStore::size() const {

@@ -44,6 +44,9 @@ class ArtifactStore {
   std::size_t size() const;
 
  private:
+  std::optional<Artifact> load_impl(std::string_view stage,
+                                    std::uint64_t key) const;
+
   std::string dir_;
 };
 

@@ -12,6 +12,7 @@
 #include "netlist/netlist_ops.h"
 #include "netlist/verilog_parser.h"
 #include "netlist/verilog_writer.h"
+#include "obs/trace.h"
 
 namespace secflow {
 namespace {
@@ -110,6 +111,33 @@ class StageCache {
   std::optional<ArtifactStore> store_;
 };
 
+/// Span name of one pipeline stage (stable literals — Span keeps the
+/// pointer).
+const char* flow_span_name(FlowStage s) {
+  switch (s) {
+    case FlowStage::kSynthesis: return "flow.synthesis";
+    case FlowStage::kSubstitution: return "flow.substitution";
+    case FlowStage::kPlacement: return "flow.placement";
+    case FlowStage::kRouting: return "flow.routing";
+    case FlowStage::kDecomposition: return "flow.decomposition";
+    case FlowStage::kExtraction: return "flow.extraction";
+  }
+  return "flow.?";
+}
+
+/// Close out one executed stage: record its wall time, attach the cache
+/// verdict to the stage span, and emit one info log line.
+void finish_stage(FlowStage s, Span& span, Stopwatch& sw, StageTimings& t,
+                  double& ms_slot) {
+  ms_slot = sw.lap_ms();
+  const char* outcome = cache_outcome_name(t.outcome(s));
+  span.arg("cache", outcome);
+  if (t.key(s) != 0) span.arg("key", hash_hex(t.key(s)));
+  SECFLOW_LOG_INFO("flow", "stage done",
+                   LogField("stage", flow_stage_name(s)),
+                   LogField("ms", ms_slot), LogField("cache", outcome));
+}
+
 void reject_secure_only_stage(const std::optional<FlowStage>& s,
                               const char* which) {
   if (!s) return;
@@ -153,6 +181,28 @@ const char* flow_stage_name(FlowStage s) {
     case FlowStage::kExtraction: return "extraction";
   }
   return "?";
+}
+
+const char* cache_outcome_name(CacheOutcome c) {
+  switch (c) {
+    case CacheOutcome::kNotRun: return "not-run";
+    case CacheOutcome::kDisabled: return "off";
+    case CacheOutcome::kMiss: return "miss";
+    case CacheOutcome::kHit: return "hit";
+  }
+  return "?";
+}
+
+double StageTimings::stage_ms(FlowStage s) const {
+  switch (s) {
+    case FlowStage::kSynthesis: return synthesis_ms;
+    case FlowStage::kSubstitution: return substitution_ms;
+    case FlowStage::kPlacement: return place_ms;
+    case FlowStage::kRouting: return route_ms;
+    case FlowStage::kDecomposition: return decomposition_ms;
+    case FlowStage::kExtraction: return extraction_ms;
+  }
+  return 0.0;
 }
 
 int StageTimings::cache_hits() const {
@@ -216,10 +266,16 @@ RegularFlowResult run_regular_flow(const AigCircuit& circuit,
   reject_secure_only_stage(opts.resume_from, "resume_from");
   reject_secure_only_stage(opts.stop_after, "stop_after");
   const FlowOptions o = resolve_parallelism(opts);
+  if (o.log_level) Logger::global().set_level(*o.log_level);
   Stopwatch sw;
   StageTimings t;
   t.n_threads = o.parallelism.resolved_threads();
   StageCache cache(o, t);
+  Span flow_span("flow.regular", "flow");
+  flow_span.arg("design", circuit.name);
+  SECFLOW_LOG_INFO("flow", "regular flow start",
+                   LogField("design", circuit.name),
+                   LogField("threads", t.n_threads));
 
   // Cache-key chain: every stage key hashes the full upstream chain, so a
   // changed early input re-keys (and re-runs) everything downstream while
@@ -232,25 +288,29 @@ RegularFlowResult run_regular_flow(const AigCircuit& circuit,
                             .digest();
 
   // Logic synthesis -> rtl.v.
-  chain = Hasher().add(chain).add("synthesis").add(fingerprint(o.synth))
-              .digest();
   std::optional<Netlist> rtl;
-  if (const auto a = cache.begin(FlowStage::kSynthesis, chain)) {
-    rtl = parse_verilog(a->section("rtl.v"), library);
-  } else {
-    rtl = technology_map(circuit, library, o.synth);
-    rtl->validate();
-    Artifact out;
-    out.add("rtl.v", write_verilog(*rtl));
-    cache.finish(FlowStage::kSynthesis, std::move(out));
+  {
+    Span span(flow_span_name(FlowStage::kSynthesis), "flow");
+    chain = Hasher().add(chain).add("synthesis").add(fingerprint(o.synth))
+                .digest();
+    if (const auto a = cache.begin(FlowStage::kSynthesis, chain)) {
+      rtl = parse_verilog(a->section("rtl.v"), library);
+    } else {
+      rtl = technology_map(circuit, library, o.synth);
+      rtl->validate();
+      Artifact out;
+      out.add("rtl.v", write_verilog(*rtl));
+      cache.finish(FlowStage::kSynthesis, std::move(out));
+    }
+    finish_stage(FlowStage::kSynthesis, span, sw, t, t.synthesis_ms);
   }
-  t.synthesis_ms = sw.lap_ms();
   bool done = cache.stop_after(FlowStage::kSynthesis);
 
   // Placement.
   LefLibrary lef;
   std::optional<DefDesign> def;
   if (!done) {
+    Span span(flow_span_name(FlowStage::kPlacement), "flow");
     lef = generate_lef(*library, LefGenOptions{o.extract.process});
     chain = Hasher()
                 .add(chain)
@@ -266,13 +326,14 @@ RegularFlowResult run_regular_flow(const AigCircuit& circuit,
       out.add("placed.def", write_def(*def));
       cache.finish(FlowStage::kPlacement, std::move(out));
     }
-    t.place_ms = sw.lap_ms();
+    finish_stage(FlowStage::kPlacement, span, sw, t, t.place_ms);
     done = cache.stop_after(FlowStage::kPlacement);
   }
 
   // Routing.
   RouteStats rs;
   if (!done) {
+    Span span(flow_span_name(FlowStage::kRouting), "flow");
     chain = Hasher()
                 .add(chain)
                 .add("routing")
@@ -291,7 +352,7 @@ RegularFlowResult run_regular_flow(const AigCircuit& circuit,
       out.add("route_stats", write_route_stats(rs));
       cache.finish(FlowStage::kRouting, std::move(out));
     }
-    t.route_ms = sw.lap_ms();
+    finish_stage(FlowStage::kRouting, span, sw, t, t.route_ms);
     done = cache.stop_after(FlowStage::kRouting);
   }
 
@@ -300,6 +361,7 @@ RegularFlowResult run_regular_flow(const AigCircuit& circuit,
   CapTable caps;
   TimingReport timing;
   if (!done) {
+    Span span(flow_span_name(FlowStage::kExtraction), "flow");
     chain = Hasher().add(chain).add("extraction").add(fingerprint(o.extract))
                 .digest();
     if (const auto a = cache.begin(FlowStage::kExtraction, chain)) {
@@ -316,7 +378,7 @@ RegularFlowResult run_regular_flow(const AigCircuit& circuit,
       out.add("timing", write_timing_report(timing));
       cache.finish(FlowStage::kExtraction, std::move(out));
     }
-    t.extraction_ms = sw.lap_ms();
+    finish_stage(FlowStage::kExtraction, span, sw, t, t.extraction_ms);
   }
 
   const FlowStage completed = o.stop_after.value_or(FlowStage::kExtraction);
@@ -334,9 +396,15 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
   StageTimings t;
 
   FlowOptions o = resolve_parallelism(opts);
+  if (o.log_level) Logger::global().set_level(*o.log_level);
   t.n_threads = o.parallelism.resolved_threads();
   if (o.synth.allowed_cells.empty()) o.synth = wddl_synth_constraints();
   StageCache cache(o, t);
+  Span flow_span("flow.secure", "flow");
+  flow_span.arg("design", circuit.name);
+  SECFLOW_LOG_INFO("flow", "secure flow start",
+                   LogField("design", circuit.name),
+                   LogField("threads", t.n_threads));
 
   std::uint64_t chain = Hasher()
                             .add(kCkptFormatVersion)
@@ -346,19 +414,22 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
                             .digest();
 
   // Logic synthesis, restricted to WDDL-supported gates.
-  chain = Hasher().add(chain).add("synthesis").add(fingerprint(o.synth))
-              .digest();
   std::optional<Netlist> rtl;
-  if (const auto a = cache.begin(FlowStage::kSynthesis, chain)) {
-    rtl = parse_verilog(a->section("rtl.v"), library);
-  } else {
-    rtl = technology_map(circuit, library, o.synth);
-    rtl->validate();
-    Artifact out;
-    out.add("rtl.v", write_verilog(*rtl));
-    cache.finish(FlowStage::kSynthesis, std::move(out));
+  {
+    Span span(flow_span_name(FlowStage::kSynthesis), "flow");
+    chain = Hasher().add(chain).add("synthesis").add(fingerprint(o.synth))
+                .digest();
+    if (const auto a = cache.begin(FlowStage::kSynthesis, chain)) {
+      rtl = parse_verilog(a->section("rtl.v"), library);
+    } else {
+      rtl = technology_map(circuit, library, o.synth);
+      rtl->validate();
+      Artifact out;
+      out.add("rtl.v", write_verilog(*rtl));
+      cache.finish(FlowStage::kSynthesis, std::move(out));
+    }
+    finish_stage(FlowStage::kSynthesis, span, sw, t, t.synthesis_ms);
   }
-  t.synthesis_ms = sw.lap_ms();
   bool done = cache.stop_after(FlowStage::kSynthesis);
 
   // Cell substitution: rtl.v -> fat.v + differential netlist, verified
@@ -371,6 +442,7 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
   SubstitutionStats sub_stats;
   LecResult lec;
   if (!done) {
+    Span span(flow_span_name(FlowStage::kSubstitution), "flow");
     chain = Hasher().add(chain).add("substitution").digest();
     if (const auto a = cache.begin(FlowStage::kSubstitution, chain)) {
       std::shared_ptr<const CellLibrary> fat_lib =
@@ -399,7 +471,7 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
       out.add("lec", write_lec_result(lec));
       cache.finish(FlowStage::kSubstitution, std::move(out));
     }
-    t.substitution_ms = sw.lap_ms();
+    finish_stage(FlowStage::kSubstitution, span, sw, t, t.substitution_ms);
     done = done || cache.stop_after(FlowStage::kSubstitution);
   }
 
@@ -408,6 +480,7 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
   LefLibrary fat_lef;
   std::optional<DefDesign> fat_def;
   if (!done) {
+    Span span(flow_span_name(FlowStage::kPlacement), "flow");
     LefGenOptions fat_gen{o.extract.process};
     fat_gen.wire_scale = o.shielded_pairs ? 3.0 : 2.0;
     fat_lef = generate_lef(fat->library(), fat_gen);
@@ -426,13 +499,14 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
       out.add("placed.def", write_def(*fat_def));
       cache.finish(FlowStage::kPlacement, std::move(out));
     }
-    t.place_ms = sw.lap_ms();
+    finish_stage(FlowStage::kPlacement, span, sw, t, t.place_ms);
     done = cache.stop_after(FlowStage::kPlacement);
   }
 
   // Fat route.
   RouteStats rs;
   if (!done) {
+    Span span(flow_span_name(FlowStage::kRouting), "flow");
     chain = Hasher()
                 .add(chain)
                 .add("routing")
@@ -451,7 +525,7 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
       out.add("route_stats", write_route_stats(rs));
       cache.finish(FlowStage::kRouting, std::move(out));
     }
-    t.route_ms = sw.lap_ms();
+    finish_stage(FlowStage::kRouting, span, sw, t, t.route_ms);
     done = cache.stop_after(FlowStage::kRouting);
   }
 
@@ -462,6 +536,7 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
   std::optional<DefDesign> diff_def;
   CheckResult stream_check;
   if (!done) {
+    Span span(flow_span_name(FlowStage::kDecomposition), "flow");
     diff_lef = make_diff_lef(fat_lef, pr.wire_pitch_um, pr.wire_width_um);
     chain = Hasher()
                 .add(chain)
@@ -503,7 +578,7 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
       out.add("stream_check", write_check_result(stream_check));
       cache.finish(FlowStage::kDecomposition, std::move(out));
     }
-    t.decomposition_ms = sw.lap_ms();
+    finish_stage(FlowStage::kDecomposition, span, sw, t, t.decomposition_ms);
     done = cache.stop_after(FlowStage::kDecomposition);
   }
 
@@ -512,6 +587,7 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
   CapTable caps;
   TimingReport timing;
   if (!done) {
+    Span span(flow_span_name(FlowStage::kExtraction), "flow");
     chain = Hasher().add(chain).add("extraction").add(fingerprint(o.extract))
                 .digest();
     if (const auto a = cache.begin(FlowStage::kExtraction, chain)) {
@@ -528,7 +604,7 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
       out.add("timing", write_timing_report(timing));
       cache.finish(FlowStage::kExtraction, std::move(out));
     }
-    t.extraction_ms = sw.lap_ms();
+    finish_stage(FlowStage::kExtraction, span, sw, t, t.extraction_ms);
 
     // The evaluate wave must settle within the first half cycle so the
     // WDDL masters capture valid differential data at the falling edge.
@@ -552,6 +628,57 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
       sub_stats,
       lec,
       stream_check};
+}
+
+namespace {
+
+/// Common FlowReport fields shared by both flow kinds.  Stages that never
+/// ran stay as "not-run" rows with 0 ms and no key, so every report lists
+/// all six pipeline stages in order.
+FlowReport base_flow_report(const FlowArtifacts& r, const char* flow_kind,
+                            const Netlist& final_netlist) {
+  FlowReport rep;
+  rep.flow = flow_kind;
+  rep.design = r.rtl.name();
+  rep.completed_through = flow_stage_name(r.completed_through);
+  rep.n_threads = r.timings.n_threads;
+  rep.cells = final_netlist.n_instances();
+  rep.cell_area_um2 = final_netlist.total_area_um2();
+  rep.die_area_um2 = r.die_area_um2();
+  rep.wirelength_um = dbu_to_um(r.def.total_wirelength());
+  rep.vias = r.def.total_vias();
+  rep.route_nets = r.route_stats.nets_routed;
+  rep.route_iterations = r.route_stats.iterations;
+  rep.critical_delay_ps = r.timing.critical_delay_ps;
+  rep.total_ms = r.timings.total_ms();
+  for (int i = 0; i < kNumFlowStages; ++i) {
+    const FlowStage s = static_cast<FlowStage>(i);
+    StageEntry e;
+    e.name = flow_stage_name(s);
+    e.ms = r.timings.stage_ms(s);
+    e.cache = cache_outcome_name(r.timings.outcome(s));
+    e.cache_key = r.timings.key(s) != 0 ? hash_hex(r.timings.key(s)) : "";
+    rep.stages.push_back(std::move(e));
+  }
+  return rep;
+}
+
+}  // namespace
+
+FlowReport build_flow_report(const RegularFlowResult& r) {
+  return base_flow_report(r, "regular", r.rtl);
+}
+
+FlowReport build_flow_report(const SecureFlowResult& r) {
+  FlowReport rep = base_flow_report(r, "secure", r.diff);
+  rep.secure.present = true;
+  rep.secure.fat_cells = r.fat.n_instances();
+  rep.secure.diff_cells = r.diff.n_instances();
+  rep.secure.inverters_removed = r.sub_stats.inverters_removed;
+  rep.secure.lec_equivalent = r.lec.equivalent;
+  rep.secure.lec_points = r.lec.compared_points;
+  rep.secure.stream_check_ok = r.stream_out_check.ok;
+  return rep;
 }
 
 std::string flow_report(const FlowArtifacts& r) {

@@ -25,6 +25,8 @@
 
 #include "base/parallel.h"
 #include "extract/extract.h"
+#include "obs/log.h"
+#include "obs/report.h"
 #include "lec/lec.h"
 #include "lef/lef.h"
 #include "netlist/netlist.h"
@@ -72,6 +74,9 @@ enum class CacheOutcome {
   kHit,       ///< artifact deserialized from the cache; stage skipped
 };
 
+/// "not-run", "off", "miss", "hit" — the FlowReport vocabulary.
+const char* cache_outcome_name(CacheOutcome c);
+
 struct FlowOptions {
   SynthConstraints synth;
   PlaceOptions place;        ///< paper defaults: aspect 1, fill 80 %
@@ -100,6 +105,11 @@ struct FlowOptions {
   /// Artifacts of later stages stay default-initialized — check
   /// FlowArtifacts::completed_through before using them.
   std::optional<FlowStage> stop_after;
+
+  /// When set, the flow applies this level to Logger::global() before
+  /// running (otherwise SECFLOW_LOG / the current level stands).  Pure
+  /// observability: excluded from cache keys, never affects artifacts.
+  std::optional<LogLevel> log_level;
 
   /// Reject inconsistent combinations with a descriptive Error before the
   /// flow spends minutes producing a silently wrong artifact.  Called by
@@ -130,6 +140,8 @@ struct StageTimings {
   CacheOutcome outcome(FlowStage s) const {
     return cache[static_cast<std::size_t>(s)];
   }
+  /// Wall time of one stage (the *_ms field matching `s`).
+  double stage_ms(FlowStage s) const;
   std::uint64_t key(FlowStage s) const {
     return cache_key[static_cast<std::size_t>(s)];
   }
@@ -199,5 +211,13 @@ SynthConstraints wddl_synth_constraints();
 /// verification verdicts.
 std::string flow_report(const FlowArtifacts& r);
 std::string flow_report(const SecureFlowResult& r);
+
+/// Machine-readable counterpart of flow_report(): per-stage timings with
+/// cache outcomes/keys, route/timing statistics and (secure overload) the
+/// verification verdicts, as an obs/report.h FlowReport.  Callers attach
+/// DPA results (sca/dpa_experiment.h) and a metrics snapshot before
+/// serializing with flow_report_json().
+FlowReport build_flow_report(const RegularFlowResult& r);
+FlowReport build_flow_report(const SecureFlowResult& r);
 
 }  // namespace secflow

@@ -1,0 +1,109 @@
+#include "obs/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace secflow {
+namespace {
+
+bool needs_quoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (const char c : v) {
+    if (c == ' ' || c == '\t' || c == '=' || c == '"' || c == '\n') {
+      return true;
+    }
+  }
+  return false;
+}
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("SECFLOW_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (const auto l = parse_log_level(env)) return *l;
+  std::fprintf(stderr,
+               "secflow: ignoring unknown SECFLOW_LOG value '%s' "
+               "(want off|error|warn|info|debug|trace)\n",
+               env);
+  return LogLevel::kWarn;
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kOff: return "off";
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kTrace: return "trace";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view s) {
+  std::string lower(s);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  for (const LogLevel l : {LogLevel::kOff, LogLevel::kError, LogLevel::kWarn,
+                           LogLevel::kInfo, LogLevel::kDebug,
+                           LogLevel::kTrace}) {
+    if (lower == log_level_name(l)) return l;
+  }
+  return std::nullopt;
+}
+
+LogField::LogField(std::string_view k, double v) : key(k) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  value = buf;
+}
+
+Logger& Logger::global() {
+  static Logger* logger = new Logger(level_from_env());
+  return *logger;
+}
+
+Logger::Logger(LogLevel level) : level_(static_cast<int>(level)) {}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel l, std::string_view component,
+                 std::string_view message,
+                 std::initializer_list<LogField> fields) {
+  if (!enabled(l)) return;
+  std::string line;
+  line.reserve(64);
+  line += log_level_name(l);
+  line += " [";
+  line += component;
+  line += "] ";
+  line += message;
+  for (const LogField& f : fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    if (needs_quoting(f.value)) {
+      line += '"';
+      for (const char c : f.value) {
+        if (c == '"' || c == '\\') line += '\\';
+        line += c == '\n' ? ' ' : c;
+      }
+      line += '"';
+    } else {
+      line += f.value;
+    }
+  }
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (sink_) {
+    sink_(l, line);
+  } else {
+    std::fprintf(stderr, "secflow %s\n", line.c_str());
+  }
+}
+
+}  // namespace secflow

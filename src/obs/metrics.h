@@ -1,0 +1,97 @@
+// Metrics registry: counters, gauges and histograms, sharded per thread.
+//
+// Hot loops under `parallel_for` record into a private per-thread shard
+// (one uncontended mutex each, taken only by its owning thread and by
+// snapshot()), so instrumentation never serializes workers against each
+// other.  snapshot() merges all shards into one name-sorted view — the
+// shard-and-merge structure makes aggregation deterministic:
+//
+//  * counters sum 64-bit integers (exact and commutative, so totals are
+//    identical at any SECFLOW_THREADS),
+//  * histogram count/min/max merge commutatively and are exact; the
+//    running `sum` of doubles can differ in final ulps across thread
+//    counts (floating-point addition is not associative),
+//  * gauges aggregate by maximum (the only order-free choice for
+//    last-value semantics across racing shards).
+//
+// Everything is off by default: a disabled registry's record methods are
+// one relaxed atomic load and a return — cheap enough to leave in the
+// innermost flow loops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace secflow {
+
+struct HistogramStat {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< meaningful only when count > 0
+  double max = 0.0;
+
+  void observe(double v);
+  void merge(const HistogramStat& o);
+  double mean() const { return count == 0 ? 0.0 : sum / double(count); }
+  bool operator==(const HistogramStat&) const = default;
+};
+
+/// One deterministic, name-sorted aggregation of a registry.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStat> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+class Metrics {
+ public:
+  /// The process-wide registry the flow instrumentation records into.
+  /// Disabled until someone (CLI --report, a bench, a test) enables it.
+  static Metrics& global();
+
+  Metrics();
+  ~Metrics();
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// counter += delta.
+  void add(std::string_view counter, std::uint64_t delta = 1);
+  /// gauge = max(gauge, v) under aggregation.
+  void gauge_max(std::string_view gauge, double v);
+  /// Record one histogram observation.
+  void observe(std::string_view histogram, double v);
+
+  /// Merge every shard (deterministic; see file comment).  Safe to call
+  /// concurrently with writers — each shard is locked while read.
+  MetricsSnapshot snapshot() const;
+
+  /// Drop all recorded values (shards stay registered).
+  void reset();
+
+ private:
+  struct Shard;
+  Shard& local_shard();
+
+  std::atomic<bool> enabled_{false};
+  const std::uint64_t id_;  ///< process-unique, guards thread-local caches
+  mutable std::mutex mu_;   ///< protects shards_ (the vector, not contents)
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace secflow

@@ -1,0 +1,143 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "base/error.h"
+#include "obs/json.h"
+
+namespace secflow {
+namespace {
+
+/// Stable per-OS-thread track id, assigned on first use.  Shared across
+/// tracer instances — tids only label tracks, they carry no meaning
+/// beyond "same thread".
+int thread_track_id() {
+  static std::atomic<int> next{1};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer();
+  return *t;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t Tracer::n_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::int64_t Tracer::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::record(TraceEvent e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<TraceEvent> evs = events();
+  JsonValue arr = JsonValue::array();
+
+  // Metadata: name the process and each thread track so the viewer shows
+  // "secflow" lanes instead of bare numbers.
+  JsonValue proc = JsonValue::object();
+  proc.set("name", "process_name")
+      .set("ph", "M")
+      .set("pid", 1)
+      .set("tid", 0);
+  proc.set("args", JsonValue::object().set("name", "secflow"));
+  arr.push_back(std::move(proc));
+  std::set<int> tids;
+  for (const TraceEvent& e : evs) tids.insert(e.tid);
+  for (const int tid : tids) {
+    JsonValue th = JsonValue::object();
+    th.set("name", "thread_name").set("ph", "M").set("pid", 1).set("tid", tid);
+    th.set("args", JsonValue::object().set(
+                       "name", "track " + std::to_string(tid)));
+    arr.push_back(std::move(th));
+  }
+
+  for (const TraceEvent& e : evs) {
+    JsonValue ev = JsonValue::object();
+    ev.set("name", e.name)
+        .set("cat", e.cat)
+        .set("ph", "X")
+        .set("ts", static_cast<std::int64_t>(e.ts_us))
+        .set("dur", static_cast<std::int64_t>(e.dur_us))
+        .set("pid", 1)
+        .set("tid", e.tid);
+    if (!e.args.empty()) {
+      JsonValue args = JsonValue::object();
+      for (const auto& [k, v] : e.args) args.set(k, v);
+      ev.set("args", std::move(args));
+    }
+    arr.push_back(std::move(ev));
+  }
+
+  JsonValue doc = JsonValue::object();
+  doc.set("traceEvents", std::move(arr));
+  doc.set("displayTimeUnit", "ms");
+  return json_dump(doc, 1);
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  SECFLOW_CHECK(out.good(), "Tracer: cannot write " + path);
+  out << chrome_trace_json() << '\n';
+  SECFLOW_CHECK(out.good(), "Tracer: write to " + path + " failed");
+}
+
+Span::Span(const char* name, const char* cat, Tracer* tracer) {
+  Tracer* t = tracer != nullptr ? tracer : &Tracer::global();
+  if (!t->enabled()) return;
+  tracer_ = t;
+  ev_.name = name;
+  ev_.cat = cat;
+  ev_.ts_us = t->now_us();
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) return;
+  ev_.dur_us = tracer_->now_us() - ev_.ts_us;
+  ev_.tid = thread_track_id();
+  tracer_->record(std::move(ev_));
+}
+
+void Span::arg(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  ev_.args.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::arg(std::string key, std::int64_t value) {
+  if (tracer_ == nullptr) return;
+  ev_.args.emplace_back(std::move(key), std::to_string(value));
+}
+
+void Span::arg(std::string key, double value) {
+  if (tracer_ == nullptr) return;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  ev_.args.emplace_back(std::move(key), buf);
+}
+
+}  // namespace secflow

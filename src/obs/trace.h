@@ -1,0 +1,100 @@
+// Span-based tracing with a Chrome trace-event exporter.
+//
+// A Span is an RAII scope marker: construction stamps the start time,
+// destruction records one complete ("ph":"X") event into the tracer.
+// Every flow stage, router rip-up iteration, SA placement batch and
+// trace-simulation / DPA worker chunk opens a span, so a single run
+// renders as a per-thread timeline in chrome://tracing or Perfetto
+// (load the file written by write_chrome_trace, e.g. via the CLI's
+// `--trace out.trace.json`).
+//
+// Tracks: each OS thread gets a stable small integer `tid` on its first
+// recorded event, so pool workers show as parallel tracks.
+//
+// Cost contract: with the tracer disabled (the default) constructing a
+// Span is one relaxed atomic load — no clock read, no allocation.  Spans
+// never feed back into the flow: artifacts are bit-identical with
+// tracing on or off.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace secflow {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  int tid = 0;
+  std::int64_t ts_us = 0;   ///< start, microseconds since the tracer epoch
+  std::int64_t dur_us = 0;  ///< duration, microseconds
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer all Spans default to.  Disabled until
+  /// someone (CLI --trace, a bench, a test) enables it.
+  static Tracer& global();
+
+  Tracer();
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void clear();
+  std::vector<TraceEvent> events() const;
+  std::size_t n_events() const;
+
+  /// The collected events as a Chrome trace-event JSON document:
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} with one complete
+  /// ("X") event per span plus thread-name metadata events.
+  std::string chrome_trace_json() const;
+  void write_chrome_trace(const std::string& path) const;
+
+  /// Microseconds since this tracer's epoch (used by Span).
+  std::int64_t now_us() const;
+  void record(TraceEvent e);
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII tracing scope.  Name/category pointers must outlive the span
+/// (string literals at every call site).  arg() attaches key=value pairs
+/// shown in the trace viewer's detail pane; like construction, it is a
+/// no-op when the tracer is disabled.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "flow",
+                Tracer* tracer = nullptr);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void arg(std::string key, std::string value);
+  void arg(std::string key, std::int64_t value);
+  void arg(std::string key, int value) {
+    arg(std::move(key), static_cast<std::int64_t>(value));
+  }
+  void arg(std::string key, std::uint64_t value) {
+    arg(std::move(key), static_cast<std::int64_t>(value));
+  }
+  void arg(std::string key, double value);
+
+ private:
+  Tracer* tracer_ = nullptr;  ///< nullptr = tracing was off at construction
+  TraceEvent ev_;
+};
+
+}  // namespace secflow

@@ -8,6 +8,8 @@
 
 #include "base/error.h"
 #include "base/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace secflow {
 namespace {
@@ -175,6 +177,8 @@ DefDesign place_design(const Netlist& nl, const LefLibrary& lef,
   // RNG draws are independent of the thread count, so the refined
   // placement is bit-identical from 1 to N threads.
   if (opts.sa_moves_per_instance > 0 && n > 2) {
+    Span sa_span("place.sa", "pnr");
+    sa_span.arg("instances", static_cast<std::uint64_t>(n));
     Rng rng(opts.seed);
     // Nets touching each instance, for incremental cost.
     std::vector<std::vector<NetId>> nets_of(n);
@@ -278,6 +282,7 @@ DefDesign place_design(const Netlist& nl, const LefLibrary& lef,
     std::vector<Proposal> proposals;
     std::vector<char> row_dirty(st.rows.size(), 0);
     for (long done = 0; done < total_moves; done += batch) {
+      Span batch_span("place.sa_batch", "pnr");
       const auto k_count = static_cast<std::size_t>(
           std::min<long>(batch, total_moves - done));
       proposals.assign(k_count, Proposal{});
@@ -295,18 +300,23 @@ DefDesign place_design(const Netlist& nl, const LefLibrary& lef,
                      }
                    });
       std::fill(row_dirty.begin(), row_dirty.end(), 0);
+      std::uint64_t accepted = 0, stale = 0;
       for (Proposal& p : proposals) {
         const std::size_t ra = st.row_of[p.a], rb = st.row_of[p.b];
         // An earlier commit of this batch moved a row this proposal
         // costed against: its parallel evaluation is stale, so redo it
         // serially against the current state (deterministic — staleness
         // depends only on proposal order, never on thread scheduling).
-        if (p.a != p.b && (row_dirty[ra] || row_dirty[rb])) evaluate(p);
+        if (p.a != p.b && (row_dirty[ra] || row_dirty[rb])) {
+          evaluate(p);
+          ++stale;
+        }
         const bool keep =
             p.a != p.b && p.feasible &&
             (p.delta <= 0 ||
              p.accept_u < std::exp(-p.delta / temperature));
         if (keep) {
+          ++accepted;
           auto& row_a = st.rows[ra];
           auto& row_b = st.rows[rb];
           const auto ia = std::find(row_a.begin(), row_a.end(), p.a);
@@ -320,6 +330,11 @@ DefDesign place_design(const Netlist& nl, const LefLibrary& lef,
         }
         temperature *= cooling;
       }
+      batch_span.arg("proposals", static_cast<std::uint64_t>(k_count));
+      batch_span.arg("accepted", accepted);
+      Metrics::global().add("pnr.place.sa_batches");
+      Metrics::global().add("pnr.place.sa_accepted", accepted);
+      Metrics::global().add("pnr.place.sa_stale_reevals", stale);
     }
   }
 

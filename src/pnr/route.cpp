@@ -1,12 +1,14 @@
 #include "pnr/route.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "base/error.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace secflow {
 namespace {
@@ -244,6 +246,8 @@ RouteStats route_design(const Netlist& nl, const LefLibrary& lef,
   std::vector<std::size_t> order(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) order[i] = i;
   for (int iter = 0; iter < opts.max_iterations && !converged; ++iter) {
+    Span iter_span("route.iteration", "pnr");
+    iter_span.arg("iter", iter);
     stats.iterations = iter + 1;
     reset_usage();
     std::vector<int> node_net(static_cast<std::size_t>(g.nodes()), -1);
@@ -297,9 +301,14 @@ RouteStats route_design(const Netlist& nl, const LefLibrary& lef,
         }
       }
     }
-    if (opts.verbose) {
-      std::fprintf(stderr, "route iter %d: %d shared nodes\n", iter, shared);
-    }
+    iter_span.arg("shared_nodes", shared);
+    Metrics::global().add("pnr.route.iterations");
+    Metrics::global().add("pnr.route.shared_nodes",
+                          static_cast<std::uint64_t>(shared));
+    // verbose promotes the per-iteration line to info; silent by default.
+    SECFLOW_LOG_AT(opts.verbose ? LogLevel::kInfo : LogLevel::kDebug, "pnr",
+                   "route iteration", LogField("iter", iter),
+                   LogField("shared_nodes", shared));
   }
   SECFLOW_CHECK(converged, "routing failed to converge (congestion)");
 
@@ -313,6 +322,8 @@ RouteStats route_design(const Netlist& nl, const LefLibrary& lef,
     stats.vias += static_cast<int>(net.vias.size());
     ++stats.nets_routed;
   }
+  Metrics::global().add("pnr.route.nets_routed",
+                        static_cast<std::uint64_t>(stats.nets_routed));
   return stats;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace secflow {
 
@@ -62,11 +64,19 @@ DpaResult DpaAnalysis::analyze(std::uint32_t correct_key, int n) const {
   // Each key guess partitions and accumulates independently; the ranking
   // below runs serially over the per-guess results, so the outcome is
   // identical for any thread count.
-  r.peak_to_peak = parallel_map(
+  r.peak_to_peak.assign(static_cast<std::size_t>(opts_.n_key_guesses), 0.0);
+  parallel_for(
       static_cast<std::size_t>(opts_.n_key_guesses), opts_.parallelism,
-      [&](std::size_t g) {
-        return peak_to_peak(differential_trace(static_cast<std::uint32_t>(g),
-                                               r.n_measurements));
+      [&](std::size_t begin, std::size_t end) {
+        Span span("dpa.guess_chunk", "sca");
+        span.arg("begin", static_cast<std::uint64_t>(begin));
+        span.arg("end", static_cast<std::uint64_t>(end));
+        for (std::size_t g = begin; g < end; ++g) {
+          r.peak_to_peak[g] = peak_to_peak(differential_trace(
+              static_cast<std::uint32_t>(g), r.n_measurements));
+        }
+        Metrics::global().add("sca.dpa.guesses",
+                              static_cast<std::uint64_t>(end - begin));
       });
   double best = -1.0, second = -1.0;
   for (int g = 0; g < opts_.n_key_guesses; ++g) {

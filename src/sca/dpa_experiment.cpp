@@ -1,8 +1,12 @@
 #include "sca/dpa_experiment.h"
 
+#include <algorithm>
+
 #include "base/error.h"
 #include "base/rng.h"
 #include "crypto/des.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "sim/trace_sim.h"
 
 namespace secflow {
@@ -51,6 +55,12 @@ SelectionFn des_selection(int bit, int sbox) {
 DesDpaCampaign run_des_dpa_campaign(const Netlist& nl, const CapTable& caps,
                                     const DesDpaSetup& setup,
                                     bool differential) {
+  Span span("sca.dpa.campaign", "sca");
+  span.arg("measurements", setup.n_measurements);
+  span.arg("differential", differential ? "true" : "false");
+  SECFLOW_LOG_INFO("sca", "DPA campaign start",
+                   LogField("measurements", setup.n_measurements),
+                   LogField("differential", differential));
   PowerSimOptions opts;
   opts.precharge_inputs = differential;
 
@@ -104,6 +114,31 @@ DesDpaCampaign run_des_dpa_campaign(const Netlist& nl, const CapTable& caps,
         DpaMeasurement{std::move(t.cycle.current_ma), t.observable});
   }
   return campaign;
+}
+
+void attach_dpa(FlowReport& report, const DpaResult& result,
+                const std::vector<double>& cycle_energies_pj) {
+  DpaSection& d = report.dpa;
+  d.present = true;
+  d.n_measurements = result.n_measurements;
+  d.best_guess = result.best_guess;
+  d.disclosed = result.disclosed;
+  d.best_peak = 0.0;
+  d.runner_up_peak = 0.0;
+  for (std::size_t g = 0; g < result.peak_to_peak.size(); ++g) {
+    const double pp = result.peak_to_peak[g];
+    if (static_cast<int>(g) == result.best_guess) {
+      d.best_peak = pp;
+    } else {
+      d.runner_up_peak = std::max(d.runner_up_peak, pp);
+    }
+  }
+  d.mean_cycle_energy_pj = 0.0;
+  if (!cycle_energies_pj.empty()) {
+    double sum = 0.0;
+    for (const double e : cycle_energies_pj) sum += e;
+    d.mean_cycle_energy_pj = sum / static_cast<double>(cycle_energies_pj.size());
+  }
 }
 
 DpaAnalysis run_des_dpa_regular(const Netlist& rtl, const CapTable& caps,

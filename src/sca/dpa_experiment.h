@@ -16,6 +16,7 @@
 
 #include "base/parallel.h"
 #include "netlist/netlist.h"
+#include "obs/report.h"
 #include "sca/dpa.h"
 #include "sim/power_sim.h"
 
@@ -55,5 +56,11 @@ struct DesDpaCampaign {
 DesDpaCampaign run_des_dpa_campaign(const Netlist& nl, const CapTable& caps,
                                     const DesDpaSetup& setup,
                                     bool differential);
+
+/// Fill FlowReport::dpa from an analyzed campaign: measurement count,
+/// ranked guess, disclosure verdict, best/runner-up peaks, and the mean
+/// per-cycle energy (pass an empty vector when energies were not kept).
+void attach_dpa(FlowReport& report, const DpaResult& result,
+                const std::vector<double>& cycle_energies_pj);
 
 }  // namespace secflow
