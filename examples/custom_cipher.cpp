@@ -7,11 +7,7 @@
 //   $ ./custom_cipher
 #include <cstdio>
 
-#include "base/rng.h"
-#include "flow/flow.h"
-#include "liberty/builtin_lib.h"
-#include "sim/power_sim.h"
-#include "synth/hdl.h"
+#include "secflow.h"
 
 using namespace secflow;
 

@@ -6,11 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "crypto/des.h"
-#include "flow/flow.h"
-#include "liberty/builtin_lib.h"
-#include "sca/dpa_experiment.h"
-#include "sca/trace_io.h"
+#include "secflow.h"
 
 using namespace secflow;
 

@@ -5,12 +5,7 @@
 //   $ ./fault_detection
 #include <cstdio>
 
-#include "base/rng.h"
-#include "crypto/des.h"
-#include "flow/flow.h"
-#include "liberty/builtin_lib.h"
-#include "sca/dfa.h"
-#include "sim/power_sim.h"
+#include "secflow.h"
 
 using namespace secflow;
 

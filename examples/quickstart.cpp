@@ -6,12 +6,7 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "flow/flow.h"
-#include "lef/lef_io.h"
-#include "liberty/builtin_lib.h"
-#include "liberty/liberty_parser.h"
-#include "netlist/verilog_writer.h"
-#include "synth/hdl.h"
+#include "secflow.h"
 
 using namespace secflow;
 

@@ -10,26 +10,21 @@
 //       synthesize only and print netlist statistics + timing
 //   secflow_cli wddl-lib
 //       print the generated WDDL compound-cell inventory
+//   secflow_cli campaign <spec.json> [--out FILE] [--cache DIR]
+//                        [--threads N] [--log LEVEL]
+//       run a batch of flows through the DAG scheduler and write the
+//       secflow.campaign-report/1 JSON document
+//
+// Every subcommand accepts --help.  Options take either `--key value`
+// or `--key=value`.
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
-#include "base/error.h"
-#include "flow/flow.h"
-#include "lef/lef_io.h"
-#include "liberty/builtin_lib.h"
-#include "liberty/liberty_parser.h"
-#include "netlist/netlist_ops.h"
-#include "netlist/verilog_writer.h"
-#include "obs/log.h"
-#include "obs/metrics.h"
-#include "obs/report.h"
-#include "obs/trace.h"
-#include "sta/sta.h"
-#include "synth/hdl.h"
-#include "wddl/wddl_library.h"
+#include "base/arg_parser.h"
+#include "secflow.h"
 
 using namespace secflow;
 
@@ -37,50 +32,49 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: secflow_cli flow <design.v> [--regular] [--out DIR] "
-               "[--quick-route]\n"
-               "                   [--report FILE] [--trace FILE] "
-               "[--log LEVEL]\n"
-               "       secflow_cli report <design.v>\n"
-               "       secflow_cli wddl-lib\n");
+               "usage: secflow_cli <command> [options]\n"
+               "\n"
+               "commands:\n"
+               "  flow <design.v>       run the secure (or --regular) flow\n"
+               "  report <design.v>     synthesize only, print statistics\n"
+               "  wddl-lib              print the WDDL compound-cell "
+               "inventory\n"
+               "  campaign <spec.json>  run a batch campaign, write the "
+               "JSON report\n"
+               "\n"
+               "run 'secflow_cli <command> --help' for per-command "
+               "options\n");
   return 2;
 }
 
+LogLevel parse_log_or_throw(const std::string& text) {
+  const auto lvl = parse_log_level(text);
+  SECFLOW_CHECK(lvl.has_value(), "unknown log level: " + text);
+  return *lvl;
+}
+
 int cmd_flow(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const std::string input = argv[0];
-  bool regular = false;
-  bool quick = false;
-  std::string out_dir;
-  std::string report_path;
-  std::string trace_path;
+  ArgParser args("secflow_cli flow",
+                 "Run the secure (default) or regular flow on a mini-HDL "
+                 "design and\nwrite every Fig 1 artifact.");
+  args.positional("design.v", "mini-HDL input file");
+  args.flag("regular", "run the regular flow instead of the secure one");
+  args.flag("quick-route", "L-shaped quick routing instead of maze routing");
+  args.option("out", "DIR", "artifact directory (default: <module>_out/)");
+  args.option("report", "FILE", "write the JSON flow report here");
+  args.option("trace", "FILE", "write a Chrome trace-event file here");
+  args.option("log", "LEVEL", "log level: debug|info|warn|error|off");
+  if (!args.parse(argc, argv)) return 0;
+
   FlowOptions opts;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--regular") == 0) {
-      regular = true;
-    } else if (std::strcmp(argv[i], "--quick-route") == 0) {
-      quick = true;
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
-      report_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
-      const auto lvl = parse_log_level(argv[++i]);
-      if (!lvl) {
-        std::fprintf(stderr, "unknown log level: %s\n", argv[i]);
-        return usage();
-      }
-      opts.log_level = *lvl;
-    } else {
-      return usage();
-    }
-  }
-  const AigCircuit circuit = parse_hdl_file(input);
-  if (out_dir.empty()) out_dir = circuit.name + "_out";
+  if (args.has("log")) opts.log_level = parse_log_or_throw(args.get("log"));
+  if (args.has("quick-route")) opts.route_mode = RouteMode::kQuickLShaped;
+  const std::string report_path = args.get("report");
+  const std::string trace_path = args.get("trace");
+
+  const AigCircuit circuit = parse_hdl_file(args.pos("design.v"));
+  const std::string out_dir = args.get("out", circuit.name + "_out");
   const auto lib = builtin_stdcell018();
-  if (quick) opts.route_mode = RouteMode::kQuickLShaped;
 
   // Observability is opt-in: collecting spans/metrics costs nothing to the
   // artifacts (bit-identical either way) but does cost memory and time.
@@ -90,7 +84,7 @@ int cmd_flow(int argc, char** argv) {
   std::filesystem::create_directories(out_dir);
   const std::filesystem::path out = out_dir;
   FlowReport rep;
-  if (regular) {
+  if (args.has("regular")) {
     const RegularFlowResult r = run_regular_flow(circuit, lib, opts);
     std::printf("%s", flow_report(r).c_str());
     write_verilog_file(r.rtl, (out / "rtl.v").string());
@@ -128,8 +122,13 @@ int cmd_flow(int argc, char** argv) {
 }
 
 int cmd_report(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const AigCircuit circuit = parse_hdl_file(argv[0]);
+  ArgParser args("secflow_cli report",
+                 "Synthesize a design and print netlist statistics and "
+                 "timing.");
+  args.positional("design.v", "mini-HDL input file");
+  if (!args.parse(argc, argv)) return 0;
+
+  const AigCircuit circuit = parse_hdl_file(args.pos("design.v"));
   const auto lib = builtin_stdcell018();
   const Netlist rtl = technology_map(circuit, lib);
   std::printf("module %s: %zu cells, %zu nets, %.1f um^2 cell area\n",
@@ -142,7 +141,11 @@ int cmd_report(int argc, char** argv) {
   return 0;
 }
 
-int cmd_wddl_lib() {
+int cmd_wddl_lib(int argc, char** argv) {
+  ArgParser args("secflow_cli wddl-lib",
+                 "Print the generated WDDL compound-cell inventory.");
+  if (!args.parse(argc, argv)) return 0;
+
   const auto lib = builtin_stdcell018();
   WddlLibrary wlib(lib);
   const int n = wlib.generate_full_inventory();
@@ -159,6 +162,48 @@ int cmd_wddl_lib() {
   return 0;
 }
 
+int cmd_campaign(int argc, char** argv) {
+  ArgParser args("secflow_cli campaign",
+                 "Run a batch of flows described by a secflow.campaign/1 "
+                 "JSON spec\nthrough the DAG scheduler and write the "
+                 "campaign report.");
+  args.positional("spec.json", "campaign spec file");
+  args.option("out", "FILE",
+              "write the campaign report here (default: stdout)");
+  args.option("cache", "DIR", "checkpoint directory (overrides the spec)");
+  args.option("threads", "N", "concurrent jobs (overrides the spec)");
+  args.option("log", "LEVEL", "log level: debug|info|warn|error|off");
+  if (!args.parse(argc, argv)) return 0;
+
+  std::ifstream in(args.pos("spec.json"));
+  SECFLOW_CHECK(in.good(), "cannot read spec " + args.pos("spec.json"));
+  std::ostringstream text;
+  text << in.rdbuf();
+  CampaignSpec spec = parse_campaign_spec(text.str());
+  if (args.has("cache")) spec.cache_dir = args.get("cache");
+  if (args.has("threads")) spec.threads = std::stoi(args.get("threads"));
+  if (args.has("log")) {
+    const LogLevel lvl = parse_log_or_throw(args.get("log"));
+    for (CampaignJob& job : spec.jobs) job.options.log_level = lvl;
+  }
+
+  const CampaignResult result = run_campaign(spec);
+  const std::string json = campaign_report_json(result);
+  validate_campaign_report(json_parse(json));
+  const std::string out_path = args.get("out");
+  if (out_path.empty()) {
+    std::printf("%s", json.c_str());
+  } else {
+    std::ofstream f(out_path);
+    f << json;
+    SECFLOW_CHECK(f.good(), "cannot write report to " + out_path);
+    std::printf("campaign '%s': %d ok, %d failed, report written to %s\n",
+                result.campaign.c_str(), result.n_ok, result.n_failed,
+                out_path.c_str());
+  }
+  return result.n_failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -167,7 +212,8 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "flow") return cmd_flow(argc - 2, argv + 2);
     if (cmd == "report") return cmd_report(argc - 2, argv + 2);
-    if (cmd == "wddl-lib") return cmd_wddl_lib();
+    if (cmd == "wddl-lib") return cmd_wddl_lib(argc - 2, argv + 2);
+    if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
   } catch (const secflow::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,112 @@
+// Campaign specification: N flow jobs declared in one JSON document.
+//
+// A campaign is the paper's experimental unit scaled up — Fig 6 is a
+// regular-vs-secure comparison, a security-closure sweep is the same
+// design across option variants and seeds.  The spec declares the job
+// set (circuit × flow kind × seed × option overrides); the engine
+// (campaign.h) schedules it so jobs sharing a checkpoint-key prefix
+// compute shared stages once.
+//
+// Schema "secflow.campaign/1":
+//
+//   {
+//     "schema": "secflow.campaign/1",
+//     "name": "regular-vs-secure",
+//     "cache_dir": "ckpt",               // optional; enables stage sharing
+//     "threads": 0,                      // optional; concurrent jobs, 0 = auto
+//     "jobs": [
+//       {
+//         "name": "des-secure",          // optional; default "job<N>"
+//         "circuit": {"builtin": "des-dpa"},   // or {"hdl": "module ..."}
+//                                              // or {"file": "path.v"}
+//         "flow": "secure",              // "regular" | "secure"
+//         "seed": 1,                     // optional; DPA measurement seed
+//         "dpa": {"n_measurements": 400, "noise_ma": 0.0,
+//                 "select_bit": 2, "sbox": 1, "key": 46},   // optional
+//         "options": {                   // optional FlowOptions overrides
+//           "route_mode": "quick",       // "detailed" | "quick"
+//           "shielded_pairs": true,
+//           "stop_after": "routing",
+//           "place":   {"aspect_ratio": 1.0, "fill_factor": 0.8,
+//                       "sa_moves_per_instance": 60, "sa_batch": 16,
+//                       "margin_tracks": 8, "seed": 1},
+//           "route":   {"via_cost": 3, "max_iterations": 48},
+//           "extract": {"coupling_max_sep_um": 1.2,
+//                       "variation_sigma": 0.0, "seed": 7}
+//         }
+//       }
+//     ]
+//   }
+//
+// Parsing is strict: unknown members, wrong types and inconsistent
+// combinations are rejected, and ALL problems are collected into one
+// Error (one line per violation) so a bad spec is fixed in one pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/parallel.h"
+#include "flow/flow.h"
+
+namespace secflow {
+
+inline constexpr const char* kCampaignSpecSchema = "secflow.campaign/1";
+
+/// Where a job's circuit comes from.  Elaboration happens inside the job
+/// (a bad HDL file fails that job, not the campaign).
+enum class CircuitSourceKind {
+  kBuiltinDesDpa,  ///< make_des_dpa_circuit() — the paper's Fig 4 module
+  kHdlText,        ///< inline mini-HDL in the spec
+  kHdlFile,        ///< path to a mini-HDL file
+};
+
+struct CircuitSource {
+  CircuitSourceKind kind = CircuitSourceKind::kBuiltinDesDpa;
+  std::string text;  ///< HDL source or file path ("" for builtins)
+};
+
+/// DPA attack parameters of one job (paper section 3 defaults).
+struct DpaParams {
+  int n_measurements = 2000;
+  double noise_ma = 0.0;
+  int select_bit = 2;
+  int sbox = 1;
+  std::uint32_t key = 46;
+};
+
+struct CampaignJob {
+  std::string name;
+  CircuitSource circuit;
+  FlowKind flow = FlowKind::kSecure;
+  /// Seed of the DPA measurement RNG streams (layout seeds are option
+  /// overrides: place.seed / extract.seed — they change artifacts and
+  /// therefore cache keys; this one never does).
+  std::uint64_t seed = 2025;
+  bool has_dpa = false;
+  DpaParams dpa;
+  /// Flow options after applying the spec's overrides.  cache_dir /
+  /// resume_from / log_level are engine-owned and not override-able.
+  FlowOptions options;
+};
+
+struct CampaignSpec {
+  std::string name;
+  /// Checkpoint directory shared by every job ("" disables sharing).
+  std::string cache_dir;
+  /// Jobs running concurrently (0 = auto: SECFLOW_THREADS / hardware).
+  int threads = 0;
+  std::vector<CampaignJob> jobs;
+
+  /// Re-check invariants (job names unique, DPA needs extraction, every
+  /// job's FlowOptions valid).  Collects all violations into one Error.
+  /// parse_campaign_spec has already called this.
+  void validate() const;
+};
+
+/// Parse and validate a spec document.  Throws ParseError on malformed
+/// JSON; throws Error listing every schema/consistency violation at once.
+CampaignSpec parse_campaign_spec(const std::string& json_text);
+
+}  // namespace secflow

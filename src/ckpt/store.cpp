@@ -1,5 +1,6 @@
 #include "ckpt/store.h"
 
+#include <atomic>
 #include <filesystem>
 
 #include "base/error.h"
@@ -56,7 +57,13 @@ void ArtifactStore::save(const Artifact& a) const {
   fs::create_directories(dir_, ec);
   SECFLOW_CHECK(!ec, "ArtifactStore: cannot create directory " + dir_);
   const std::string final_path = path_for(a.kind, a.key);
-  const std::string tmp_path = final_path + ".tmp";
+  // Unique temp name per save: concurrent writers of the same entry (e.g.
+  // two campaign jobs recomputing a shared stage after their producer
+  // failed) each write their own temp file; the renames then race
+  // harmlessly — both sides rename identical bytes onto the final name.
+  static std::atomic<std::uint64_t> save_seq{0};
+  const std::string tmp_path =
+      final_path + ".tmp." + std::to_string(save_seq.fetch_add(1));
   write_artifact_file(a, tmp_path);
   fs::rename(tmp_path, final_path, ec);
   SECFLOW_CHECK(!ec, "ArtifactStore: cannot rename into " + final_path);

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "base/error.h"
 #include "ckpt/fingerprint.h"
@@ -171,6 +172,14 @@ void append_common(std::ostringstream& os, const FlowArtifacts& r) {
 
 }  // namespace
 
+const char* flow_kind_name(FlowKind k) {
+  switch (k) {
+    case FlowKind::kRegular: return "regular";
+    case FlowKind::kSecure: return "secure";
+  }
+  return "?";
+}
+
 const char* flow_stage_name(FlowStage s) {
   switch (s) {
     case FlowStage::kSynthesis: return "synthesis";
@@ -218,37 +227,105 @@ int StageTimings::cache_misses() const {
 }
 
 void FlowOptions::validate() const {
-  SECFLOW_CHECK(
-      !(shielded_pairs && route_mode == RouteMode::kQuickLShaped),
-      "FlowOptions: shielded_pairs requires RouteMode::kDetailed — quick "
-      "L-shaped routing produces no conflict-checked geometry to shield");
-  SECFLOW_CHECK(place.aspect_ratio > 0.0,
-                "FlowOptions: place.aspect_ratio must be > 0");
-  SECFLOW_CHECK(place.fill_factor > 0.0 && place.fill_factor <= 1.0,
-                "FlowOptions: place.fill_factor must be in (0, 1]");
-  SECFLOW_CHECK(place.sa_moves_per_instance >= 0,
-                "FlowOptions: place.sa_moves_per_instance must be >= 0");
-  SECFLOW_CHECK(place.sa_batch >= 1,
-                "FlowOptions: place.sa_batch must be >= 1");
-  SECFLOW_CHECK(extract.coupling_max_sep_um >= 0.0,
-                "FlowOptions: extract.coupling_max_sep_um must be >= 0");
-  SECFLOW_CHECK(extract.variation_sigma >= 0.0,
-                "FlowOptions: extract.variation_sigma must be >= 0");
-  SECFLOW_CHECK(parallelism.n_threads >= 0 &&
-                    place.parallelism.n_threads >= 0 &&
-                    extract.parallelism.n_threads >= 0,
-                "FlowOptions: thread counts must be >= 0 (0 = auto)");
-  SECFLOW_CHECK(!(resume_from && cache_dir.empty()),
-                "FlowOptions: resume_from requires cache_dir — the skipped "
-                "stages' artifacts must come from the checkpoint store");
-  SECFLOW_CHECK(!resume_from || *resume_from != FlowStage::kSynthesis,
-                "FlowOptions: resume_from = synthesis is just a full run; "
-                "leave it unset");
-  SECFLOW_CHECK(!(resume_from && stop_after &&
-                  static_cast<int>(*stop_after) <
-                      static_cast<int>(*resume_from)),
-                "FlowOptions: stop_after precedes resume_from — no stage "
-                "would run");
+  // Every rule is checked and every failure collected, so a caller (a
+  // campaign spec with several bad overrides, say) sees the complete list
+  // in one Error instead of fixing violations one round trip at a time.
+  std::vector<std::string> violations;
+  const auto require = [&violations](bool ok, const char* msg) {
+    if (!ok) violations.emplace_back(msg);
+  };
+  require(!(shielded_pairs && route_mode == RouteMode::kQuickLShaped),
+          "FlowOptions: shielded_pairs requires RouteMode::kDetailed — quick "
+          "L-shaped routing produces no conflict-checked geometry to shield");
+  require(place.aspect_ratio > 0.0,
+          "FlowOptions: place.aspect_ratio must be > 0");
+  require(place.fill_factor > 0.0 && place.fill_factor <= 1.0,
+          "FlowOptions: place.fill_factor must be in (0, 1]");
+  require(place.sa_moves_per_instance >= 0,
+          "FlowOptions: place.sa_moves_per_instance must be >= 0");
+  require(place.sa_batch >= 1, "FlowOptions: place.sa_batch must be >= 1");
+  require(extract.coupling_max_sep_um >= 0.0,
+          "FlowOptions: extract.coupling_max_sep_um must be >= 0");
+  require(extract.variation_sigma >= 0.0,
+          "FlowOptions: extract.variation_sigma must be >= 0");
+  require(parallelism.n_threads >= 0 && place.parallelism.n_threads >= 0 &&
+              extract.parallelism.n_threads >= 0,
+          "FlowOptions: thread counts must be >= 0 (0 = auto)");
+  require(!(resume_from && cache_dir.empty()),
+          "FlowOptions: resume_from requires cache_dir — the skipped "
+          "stages' artifacts must come from the checkpoint store");
+  require(!resume_from || *resume_from != FlowStage::kSynthesis,
+          "FlowOptions: resume_from = synthesis is just a full run; "
+          "leave it unset");
+  require(!(resume_from && stop_after &&
+            static_cast<int>(*stop_after) < static_cast<int>(*resume_from)),
+          "FlowOptions: stop_after precedes resume_from — no stage "
+          "would run");
+
+  if (violations.empty()) return;
+  if (violations.size() == 1) throw Error(violations[0]);
+  std::string msg = "FlowOptions: " + std::to_string(violations.size()) +
+                    " violations:";
+  for (const std::string& v : violations) msg += "\n  - " + v;
+  throw Error(msg);
+}
+
+std::array<std::uint64_t, kNumFlowStages> compute_stage_keys(
+    FlowKind kind, const AigCircuit& circuit, const CellLibrary& library,
+    const FlowOptions& opts) {
+  const bool secure = kind == FlowKind::kSecure;
+  SynthConstraints synth = opts.synth;
+  if (secure && synth.allowed_cells.empty()) synth = wddl_synth_constraints();
+
+  std::array<std::uint64_t, kNumFlowStages> keys{};
+  std::uint64_t chain = Hasher()
+                            .add(kCkptFormatVersion)
+                            .add(flow_kind_name(kind))
+                            .add(fingerprint(circuit))
+                            .add(fingerprint(library))
+                            .digest();
+  chain = Hasher().add(chain).add("synthesis").add(fingerprint(synth))
+              .digest();
+  keys[stage_idx(FlowStage::kSynthesis)] = chain;
+
+  if (secure) {
+    chain = Hasher().add(chain).add("substitution").digest();
+    keys[stage_idx(FlowStage::kSubstitution)] = chain;
+  }
+
+  Hasher place_h;
+  place_h.add(chain)
+      .add("placement")
+      .add(fingerprint(opts.place))
+      .add(fingerprint(opts.extract.process));
+  if (secure) place_h.add(opts.shielded_pairs);
+  chain = place_h.digest();
+  keys[stage_idx(FlowStage::kPlacement)] = chain;
+
+  chain = Hasher()
+              .add(chain)
+              .add("routing")
+              .add(fingerprint(opts.route))
+              .add(static_cast<int>(opts.route_mode))
+              .digest();
+  keys[stage_idx(FlowStage::kRouting)] = chain;
+
+  if (secure) {
+    const Process018& pr = opts.extract.process;
+    chain = Hasher()
+                .add(chain)
+                .add("decomposition")
+                .add(pr.wire_pitch_um)
+                .add(pr.wire_width_um)
+                .add(opts.shielded_pairs)
+                .digest();
+    keys[stage_idx(FlowStage::kDecomposition)] = chain;
+  }
+
+  chain = Hasher().add(chain).add("extraction").add(fingerprint(opts.extract))
+              .digest();
+  keys[stage_idx(FlowStage::kExtraction)] = chain;
+  return keys;
 }
 
 SynthConstraints wddl_synth_constraints() {
@@ -279,21 +356,17 @@ RegularFlowResult run_regular_flow(const AigCircuit& circuit,
 
   // Cache-key chain: every stage key hashes the full upstream chain, so a
   // changed early input re-keys (and re-runs) everything downstream while
-  // an unchanged prefix keeps hitting.
-  std::uint64_t chain = Hasher()
-                            .add(kCkptFormatVersion)
-                            .add("regular")
-                            .add(fingerprint(circuit))
-                            .add(fingerprint(*library))
-                            .digest();
+  // an unchanged prefix keeps hitting.  compute_stage_keys is the single
+  // source of truth for the chain (the campaign scheduler keys off it too).
+  const auto keys = compute_stage_keys(FlowKind::kRegular, circuit, *library, o);
+  const auto key_of = [&keys](FlowStage s) { return keys[stage_idx(s)]; };
 
   // Logic synthesis -> rtl.v.
   std::optional<Netlist> rtl;
   {
     Span span(flow_span_name(FlowStage::kSynthesis), "flow");
-    chain = Hasher().add(chain).add("synthesis").add(fingerprint(o.synth))
-                .digest();
-    if (const auto a = cache.begin(FlowStage::kSynthesis, chain)) {
+    if (const auto a = cache.begin(FlowStage::kSynthesis,
+                                   key_of(FlowStage::kSynthesis))) {
       rtl = parse_verilog(a->section("rtl.v"), library);
     } else {
       rtl = technology_map(circuit, library, o.synth);
@@ -312,13 +385,8 @@ RegularFlowResult run_regular_flow(const AigCircuit& circuit,
   if (!done) {
     Span span(flow_span_name(FlowStage::kPlacement), "flow");
     lef = generate_lef(*library, LefGenOptions{o.extract.process});
-    chain = Hasher()
-                .add(chain)
-                .add("placement")
-                .add(fingerprint(o.place))
-                .add(fingerprint(o.extract.process))
-                .digest();
-    if (const auto a = cache.begin(FlowStage::kPlacement, chain)) {
+    if (const auto a = cache.begin(FlowStage::kPlacement,
+                                   key_of(FlowStage::kPlacement))) {
       def = parse_def(a->section("placed.def"));
     } else {
       def = place_design(*rtl, lef, o.place);
@@ -334,13 +402,8 @@ RegularFlowResult run_regular_flow(const AigCircuit& circuit,
   RouteStats rs;
   if (!done) {
     Span span(flow_span_name(FlowStage::kRouting), "flow");
-    chain = Hasher()
-                .add(chain)
-                .add("routing")
-                .add(fingerprint(o.route))
-                .add(static_cast<int>(o.route_mode))
-                .digest();
-    if (const auto a = cache.begin(FlowStage::kRouting, chain)) {
+    if (const auto a = cache.begin(FlowStage::kRouting,
+                                   key_of(FlowStage::kRouting))) {
       def = parse_def(a->section("routed.def"));
       rs = parse_route_stats(a->section("route_stats"));
     } else {
@@ -362,9 +425,8 @@ RegularFlowResult run_regular_flow(const AigCircuit& circuit,
   TimingReport timing;
   if (!done) {
     Span span(flow_span_name(FlowStage::kExtraction), "flow");
-    chain = Hasher().add(chain).add("extraction").add(fingerprint(o.extract))
-                .digest();
-    if (const auto a = cache.begin(FlowStage::kExtraction, chain)) {
+    if (const auto a = cache.begin(FlowStage::kExtraction,
+                                   key_of(FlowStage::kExtraction))) {
       ex = parse_extraction(a->section("extraction"));
       caps = parse_cap_table(a->section("caps"));
       timing = parse_timing_report(a->section("timing"));
@@ -406,20 +468,15 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
                    LogField("design", circuit.name),
                    LogField("threads", t.n_threads));
 
-  std::uint64_t chain = Hasher()
-                            .add(kCkptFormatVersion)
-                            .add("secure")
-                            .add(fingerprint(circuit))
-                            .add(fingerprint(*library))
-                            .digest();
+  const auto keys = compute_stage_keys(FlowKind::kSecure, circuit, *library, o);
+  const auto key_of = [&keys](FlowStage s) { return keys[stage_idx(s)]; };
 
   // Logic synthesis, restricted to WDDL-supported gates.
   std::optional<Netlist> rtl;
   {
     Span span(flow_span_name(FlowStage::kSynthesis), "flow");
-    chain = Hasher().add(chain).add("synthesis").add(fingerprint(o.synth))
-                .digest();
-    if (const auto a = cache.begin(FlowStage::kSynthesis, chain)) {
+    if (const auto a = cache.begin(FlowStage::kSynthesis,
+                                   key_of(FlowStage::kSynthesis))) {
       rtl = parse_verilog(a->section("rtl.v"), library);
     } else {
       rtl = technology_map(circuit, library, o.synth);
@@ -443,8 +500,8 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
   LecResult lec;
   if (!done) {
     Span span(flow_span_name(FlowStage::kSubstitution), "flow");
-    chain = Hasher().add(chain).add("substitution").digest();
-    if (const auto a = cache.begin(FlowStage::kSubstitution, chain)) {
+    if (const auto a = cache.begin(FlowStage::kSubstitution,
+                                   key_of(FlowStage::kSubstitution))) {
       std::shared_ptr<const CellLibrary> fat_lib =
           std::make_shared<CellLibrary>(
               parse_cell_library(a->section("fat_lib")));
@@ -484,14 +541,8 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
     LefGenOptions fat_gen{o.extract.process};
     fat_gen.wire_scale = o.shielded_pairs ? 3.0 : 2.0;
     fat_lef = generate_lef(fat->library(), fat_gen);
-    chain = Hasher()
-                .add(chain)
-                .add("placement")
-                .add(fingerprint(o.place))
-                .add(fingerprint(o.extract.process))
-                .add(o.shielded_pairs)
-                .digest();
-    if (const auto a = cache.begin(FlowStage::kPlacement, chain)) {
+    if (const auto a = cache.begin(FlowStage::kPlacement,
+                                   key_of(FlowStage::kPlacement))) {
       fat_def = parse_def(a->section("placed.def"));
     } else {
       fat_def = place_design(*fat, fat_lef, o.place);
@@ -507,13 +558,8 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
   RouteStats rs;
   if (!done) {
     Span span(flow_span_name(FlowStage::kRouting), "flow");
-    chain = Hasher()
-                .add(chain)
-                .add("routing")
-                .add(fingerprint(o.route))
-                .add(static_cast<int>(o.route_mode))
-                .digest();
-    if (const auto a = cache.begin(FlowStage::kRouting, chain)) {
+    if (const auto a = cache.begin(FlowStage::kRouting,
+                                   key_of(FlowStage::kRouting))) {
       fat_def = parse_def(a->section("routed.def"));
       rs = parse_route_stats(a->section("route_stats"));
     } else {
@@ -538,14 +584,8 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
   if (!done) {
     Span span(flow_span_name(FlowStage::kDecomposition), "flow");
     diff_lef = make_diff_lef(fat_lef, pr.wire_pitch_um, pr.wire_width_um);
-    chain = Hasher()
-                .add(chain)
-                .add("decomposition")
-                .add(pr.wire_pitch_um)
-                .add(pr.wire_width_um)
-                .add(o.shielded_pairs)
-                .digest();
-    if (const auto a = cache.begin(FlowStage::kDecomposition, chain)) {
+    if (const auto a = cache.begin(FlowStage::kDecomposition,
+                                   key_of(FlowStage::kDecomposition))) {
       diff_def = parse_def(a->section("diff.def"));
       stream_check = parse_check_result(a->section("stream_check"));
     } else {
@@ -588,9 +628,8 @@ SecureFlowResult run_secure_flow(const AigCircuit& circuit,
   TimingReport timing;
   if (!done) {
     Span span(flow_span_name(FlowStage::kExtraction), "flow");
-    chain = Hasher().add(chain).add("extraction").add(fingerprint(o.extract))
-                .digest();
-    if (const auto a = cache.begin(FlowStage::kExtraction, chain)) {
+    if (const auto a = cache.begin(FlowStage::kExtraction,
+                                   key_of(FlowStage::kExtraction))) {
       ex = parse_extraction(a->section("extraction"));
       caps = parse_cap_table(a->section("caps"));
       timing = parse_timing_report(a->section("timing"));

@@ -50,6 +50,15 @@ enum class RouteMode {
   kQuickLShaped  ///< L-shaped, no conflict checks (scale benchmarks only)
 };
 
+/// Which of the paper's two flows (Fig 1) to run.
+enum class FlowKind {
+  kRegular,  ///< ordinary single-ended standard cells
+  kSecure    ///< WDDL substitution + differential routing
+};
+
+/// "regular" | "secure" — the FlowReport vocabulary.
+const char* flow_kind_name(FlowKind k);
+
 /// The pipeline stages of Fig 1, in execution order.  kSubstitution and
 /// kDecomposition exist only in the secure flow; the regular flow rejects
 /// them as resume/stop points.
@@ -113,9 +122,24 @@ struct FlowOptions {
 
   /// Reject inconsistent combinations with a descriptive Error before the
   /// flow spends minutes producing a silently wrong artifact.  Called by
-  /// run_regular_flow / run_secure_flow.
+  /// run_regular_flow / run_secure_flow.  Every violation is collected and
+  /// reported in one Error message (one line per offending knob), so a
+  /// campaign spec with several bad overrides surfaces them all at once.
   void validate() const;
 };
+
+/// The per-stage content-address chain a run of `kind` on this
+/// circuit/library/options would use, without running anything: keys[s] is
+/// the cache key stage `s` files its checkpoint under (0 for stages the
+/// kind never runs — substitution/decomposition in the regular flow).
+/// stop_after/resume_from are ignored: the chain addresses content, not
+/// control flow.  run_regular_flow / run_secure_flow use this exact
+/// function for their cache lookups, so two option sets agreeing on a key
+/// prefix are guaranteed to share those stages' checkpoints — the campaign
+/// scheduler's dependency analysis is built on that guarantee.
+std::array<std::uint64_t, kNumFlowStages> compute_stage_keys(
+    FlowKind kind, const AigCircuit& circuit, const CellLibrary& library,
+    const FlowOptions& opts);
 
 struct StageTimings {
   double synthesis_ms = 0.0;

@@ -82,6 +82,10 @@ void attach_metrics(FlowReport& r, const MetricsSnapshot& snapshot) {
 }
 
 std::string flow_report_json(const FlowReport& r) {
+  return json_dump(flow_report_to_json(r), 2) + "\n";
+}
+
+JsonValue flow_report_to_json(const FlowReport& r) {
   JsonValue doc = JsonValue::object();
   doc.set("schema", r.schema);
   doc.set("flow", r.flow);
@@ -142,7 +146,7 @@ std::string flow_report_json(const FlowReport& r) {
   }
 
   doc.set("metrics", metrics_to_json(r.metrics));
-  return json_dump(doc, 2) + "\n";
+  return doc;
 }
 
 void validate_flow_report(const JsonValue& doc) {
@@ -217,7 +221,10 @@ void validate_flow_report(const JsonValue& doc) {
 }
 
 FlowReport parse_flow_report(const std::string& json) {
-  const JsonValue doc = json_parse(json);
+  return flow_report_from_json(json_parse(json));
+}
+
+FlowReport flow_report_from_json(const JsonValue& doc) {
   validate_flow_report(doc);
 
   FlowReport r;

@@ -99,6 +99,14 @@ std::string flow_report_json(const FlowReport& r);
 /// on malformed or schema-violating input.
 FlowReport parse_flow_report(const std::string& json);
 
+/// The report as a JSON document — what flow_report_json serializes.
+/// Exposed so aggregating documents (the campaign report) can embed
+/// per-job flow reports as objects instead of re-parsing strings.
+JsonValue flow_report_to_json(const FlowReport& r);
+
+/// Inverse of flow_report_to_json; validates against the schema first.
+FlowReport flow_report_from_json(const JsonValue& doc);
+
 /// Check a parsed document against the secflow.flow-report/1 schema:
 /// required members present with the right types, stage cache verdicts
 /// from the known vocabulary, metrics section well-formed.  Throws Error

@@ -132,6 +132,42 @@ TEST(FlowOptionsValidate, StopBeforeResumeIsRejected) {
   expect_invalid(o, "stop_after");
 }
 
+TEST(FlowOptionsValidate, AggregatesAllViolationsIntoOneError) {
+  // Several independent problems at once: validate() must report every
+  // one of them in a single Error, not just the first.
+  FlowOptions o;
+  o.place.aspect_ratio = -1.0;
+  o.place.fill_factor = 2.0;
+  o.place.sa_batch = 0;
+  o.extract.variation_sigma = -0.5;
+  o.resume_from = FlowStage::kRouting;  // without cache_dir
+  try {
+    o.validate();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("violations"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("aspect_ratio"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("fill_factor"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("sa_batch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("variation_sigma"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cache_dir"), std::string::npos) << msg;
+  }
+}
+
+TEST(FlowOptionsValidate, SingleViolationHasNoAggregateHeader) {
+  FlowOptions o;
+  o.place.sa_batch = -4;
+  try {
+    o.validate();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_EQ(msg.find("violations"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("sa_batch"), std::string::npos) << msg;
+  }
+}
+
 TEST(FlowStageApi, NamesAndCounters) {
   EXPECT_STREQ(flow_stage_name(FlowStage::kSynthesis), "synthesis");
   EXPECT_STREQ(flow_stage_name(FlowStage::kSubstitution), "substitution");
