@@ -14,6 +14,11 @@
 //                        [--threads N] [--log LEVEL]
 //       run a batch of flows through the DAG scheduler and write the
 //       secflow.campaign-report/1 JSON document
+//   secflow_cli fuzz [--seed N] [--count M] [--deep-every K]
+//                    [--corpus DIR] [--inject KIND] [--keep-going]
+//                    [--no-minimize] [--replay FILE]
+//       drive random sequential designs through the oracle catalogue;
+//       failures are minimized into replayable fuzz-corpus reproducers
 //
 // Every subcommand accepts --help.  Options take either `--key value`
 // or `--key=value`.
@@ -41,6 +46,8 @@ int usage() {
                "inventory\n"
                "  campaign <spec.json>  run a batch campaign, write the "
                "JSON report\n"
+               "  fuzz                  fuzz both flows with the oracle "
+               "catalogue\n"
                "\n"
                "run 'secflow_cli <command> --help' for per-command "
                "options\n");
@@ -204,6 +211,73 @@ int cmd_campaign(int argc, char** argv) {
   return result.n_failed == 0 ? 0 : 1;
 }
 
+int cmd_fuzz(int argc, char** argv) {
+  ArgParser args("secflow_cli fuzz",
+                 "Generate random sequential mini-HDL designs and drive "
+                 "them through\nthe metamorphic / security-invariant / "
+                 "cross-check oracle catalogue.\nFailures are delta-debugged "
+                 "to a minimal reproducer in the corpus\ndirectory; --replay "
+                 "re-runs a stored reproducer bit-exactly.");
+  args.option("seed", "N", "campaign seed (default 1)");
+  args.option("count", "M", "number of designs to fuzz (default 100)");
+  args.option("deep-every", "K",
+              "run the full-flow deep oracles every K-th case "
+              "(default 10, 0 = never)");
+  args.option("corpus", "DIR",
+              "reproducer directory (default fuzz-corpus)");
+  args.option("inject", "KIND",
+              "plant a bug to self-test the oracles: "
+              "pin-swap|rail-swap|cap-imbalance");
+  args.flag("keep-going", "continue after the first failure");
+  args.flag("no-minimize", "store failures without delta-debugging");
+  args.option("replay", "FILE", "replay a stored reproducer and exit");
+  if (!args.parse(argc, argv)) return 0;
+
+  if (args.has("replay")) {
+    const ReplayResult r = replay_repro(args.get("replay"));
+    std::printf("replay %s: battery digest %016llx (stored %016llx) %s\n",
+                args.get("replay").c_str(),
+                static_cast<unsigned long long>(r.replayed_digest),
+                static_cast<unsigned long long>(r.stored_digest),
+                r.digest_match ? "MATCH" : "MISMATCH");
+    if (r.still_fails)
+      std::printf("oracle '%s' still fails (reproducer is live)\n",
+                  r.oracle.c_str());
+    else
+      std::printf("no oracle fails any more (bug fixed or environment "
+                  "changed)\n");
+    return r.digest_match ? 0 : 1;
+  }
+
+  FuzzOptions opts;
+  if (args.has("seed")) opts.seed = std::stoull(args.get("seed"));
+  if (args.has("count")) opts.count = std::stoi(args.get("count"));
+  if (args.has("deep-every")) opts.deep_every = std::stoi(args.get("deep-every"));
+  opts.corpus_dir = args.get("corpus", "fuzz-corpus");
+  if (args.has("inject")) opts.inject = parse_fault_kind(args.get("inject"));
+  opts.stop_on_failure = !args.has("keep-going");
+  opts.minimize = !args.has("no-minimize");
+
+  const FuzzRunResult run = run_fuzz(opts);
+  for (const FuzzCaseResult& c : run.cases) {
+    if (c.ok && !c.skipped) continue;
+    if (c.skipped) {
+      std::printf("case %d (seed %016llx): skipped, fault not injectable\n",
+                  c.index, static_cast<unsigned long long>(c.design_seed));
+      continue;
+    }
+    std::printf("case %d (seed %016llx): FAIL %s — %s\n", c.index,
+                static_cast<unsigned long long>(c.design_seed),
+                c.oracle.c_str(), c.detail.c_str());
+    std::printf("  reproducer (%d HDL lines): %s\n", c.minimized_lines,
+                c.repro_path.c_str());
+  }
+  std::printf("fuzz seed %llu: %d ok, %d failed, %d skipped of %zu run\n",
+              static_cast<unsigned long long>(opts.seed), run.n_ok,
+              run.n_failed, run.n_skipped, run.cases.size());
+  return run.all_ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +288,7 @@ int main(int argc, char** argv) {
     if (cmd == "report") return cmd_report(argc - 2, argv + 2);
     if (cmd == "wddl-lib") return cmd_wddl_lib(argc - 2, argv + 2);
     if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
+    if (cmd == "fuzz") return cmd_fuzz(argc - 2, argv + 2);
   } catch (const secflow::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

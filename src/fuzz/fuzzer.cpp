@@ -1,0 +1,205 @@
+#include "fuzz/fuzzer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/error.h"
+#include "base/rng.h"
+#include "ckpt/hash.h"
+#include "fuzz/generator.h"
+#include "fuzz/minimize.h"
+#include "obs/json.h"
+
+namespace secflow {
+namespace {
+
+/// Oracles that need opts.deep to run at all; a failure in one forces the
+/// minimizer to re-run full flows per predicate evaluation, so it gets a
+/// smaller attempt budget.
+bool is_deep_oracle(const std::string& oracle) {
+  return oracle == "secure-flow" || oracle == "flow-thread-obs-invariance" ||
+         oracle == "wddl-cap-mismatch";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot read '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot write '" + path + "'");
+  out << content;
+  SECFLOW_CHECK(out.good(), "write to '" + path + "' failed");
+}
+
+JsonValue oracle_options_json(const OracleOptions& o) {
+  JsonValue j = JsonValue::object();
+  j.set("seed", hash_hex(o.seed));
+  j.set("n_vectors", o.n_vectors);
+  j.set("n_cycles", o.n_cycles);
+  j.set("cap_worst_ff", o.cap_worst_ff);
+  j.set("cap_mean_ff", o.cap_mean_ff);
+  j.set("deep", o.deep);
+  j.set("inject", fault_kind_name(o.inject));
+  return j;
+}
+
+OracleOptions oracle_options_from_json(const JsonValue& j) {
+  OracleOptions o;
+  const JsonValue* v = nullptr;
+  SECFLOW_CHECK((v = j.find("seed")) && v->is_string(), "repro: bad seed");
+  o.seed = parse_hash_hex(v->as_string());
+  SECFLOW_CHECK((v = j.find("n_vectors")) && v->is_number(),
+                "repro: bad n_vectors");
+  o.n_vectors = static_cast<int>(v->as_number());
+  SECFLOW_CHECK((v = j.find("n_cycles")) && v->is_number(),
+                "repro: bad n_cycles");
+  o.n_cycles = static_cast<int>(v->as_number());
+  SECFLOW_CHECK((v = j.find("cap_worst_ff")) && v->is_number(),
+                "repro: bad cap_worst_ff");
+  o.cap_worst_ff = v->as_number();
+  SECFLOW_CHECK((v = j.find("cap_mean_ff")) && v->is_number(),
+                "repro: bad cap_mean_ff");
+  o.cap_mean_ff = v->as_number();
+  SECFLOW_CHECK((v = j.find("deep")) && v->is_bool(), "repro: bad deep");
+  o.deep = v->as_bool();
+  SECFLOW_CHECK((v = j.find("inject")) && v->is_string(), "repro: bad inject");
+  o.inject = parse_fault_kind(v->as_string());
+  return o;
+}
+
+}  // namespace
+
+std::string write_repro_json(const FuzzProgram& original,
+                             const FuzzProgram& minimized,
+                             const FuzzCaseResult& c, const FuzzOptions& opts,
+                             std::uint64_t battery_digest) {
+  OracleOptions oracle_opts = opts.oracles;
+  oracle_opts.seed = c.design_seed;
+  oracle_opts.deep = is_deep_oracle(c.oracle);
+  oracle_opts.inject = opts.inject;
+
+  JsonValue j = JsonValue::object();
+  j.set("schema", "secflow.fuzz-repro/1");
+  j.set("run_seed", hash_hex(opts.seed));
+  j.set("index", c.index);
+  j.set("design_seed", hash_hex(c.design_seed));
+  j.set("oracle", c.oracle);
+  j.set("detail", c.detail);
+  j.set("oracle_options", oracle_options_json(oracle_opts));
+  j.set("battery_digest", hash_hex(battery_digest));
+  j.set("hdl", emit_hdl(original));
+  j.set("minimized_hdl", emit_hdl(minimized));
+  j.set("minimized_lines", hdl_line_count(minimized));
+  return json_dump(j, 2) + "\n";
+}
+
+FuzzRunResult run_fuzz(const FuzzOptions& opts) {
+  SECFLOW_CHECK(opts.count > 0, "fuzz: count must be positive");
+  FuzzRunResult run;
+  for (int i = 0; i < opts.count; ++i) {
+    FuzzCaseResult c;
+    c.index = i;
+    c.design_seed = Rng::stream(opts.seed, static_cast<std::uint64_t>(i))
+                        .next_u64();
+    const FuzzProgram program = generate_program(c.design_seed);
+
+    OracleOptions oracle_opts = opts.oracles;
+    oracle_opts.seed = c.design_seed;
+    oracle_opts.deep = opts.deep_every > 0 && i % opts.deep_every == 0;
+    oracle_opts.inject = opts.inject;
+
+    const OracleReport rep = run_oracle_battery(program, oracle_opts);
+    if (!rep.injectable) {
+      // The requested fault has no site in this design (e.g. pin-swap on a
+      // design mapping to symmetric gates only) — not a pass, not a fail.
+      c.skipped = true;
+      ++run.n_skipped;
+      run.cases.push_back(std::move(c));
+      continue;
+    }
+    if (rep.all_ok()) {
+      ++run.n_ok;
+      run.cases.push_back(std::move(c));
+      continue;
+    }
+
+    const OracleVerdict* fail = rep.first_failure();
+    c.ok = false;
+    c.oracle = fail->oracle;
+    c.detail = fail->detail;
+    ++run.n_failed;
+
+    // Shrink while the same oracle keeps failing (and the fault, when one
+    // is planted, keeps finding a site).
+    OracleOptions pred_opts = oracle_opts;
+    pred_opts.deep = is_deep_oracle(c.oracle);
+    const auto still_fails = [&](const FuzzProgram& cand) {
+      try {
+        const OracleReport r = run_oracle_battery(cand, pred_opts);
+        if (!r.injectable) return false;
+        const OracleVerdict* f = r.first_failure();
+        return f != nullptr && f->oracle == c.oracle;
+      } catch (const std::exception&) {
+        return false;
+      }
+    };
+    FuzzProgram minimized = program;
+    if (opts.minimize) {
+      MinimizeOptions mopts;
+      mopts.max_attempts = pred_opts.deep
+                               ? std::max(1, opts.minimize_attempts / 10)
+                               : opts.minimize_attempts;
+      minimized = minimize_program(program, still_fails, mopts).program;
+    }
+    c.minimized_lines = hdl_line_count(minimized);
+
+    const std::uint64_t digest =
+        run_oracle_battery(minimized, pred_opts).digest();
+    std::filesystem::create_directories(opts.corpus_dir);
+    const std::string stem = opts.corpus_dir + "/repro-" +
+                             hash_hex(opts.seed) + "-" + std::to_string(i);
+    write_file(stem + ".v", emit_hdl(minimized));
+    write_file(stem + ".json",
+               write_repro_json(program, minimized, c, opts, digest));
+    c.repro_path = stem + ".json";
+    run.cases.push_back(std::move(c));
+    if (opts.stop_on_failure) break;
+  }
+  return run;
+}
+
+ReplayResult replay_repro(const std::string& path) {
+  const JsonValue j = json_parse(read_file(path));
+  const JsonValue* schema = j.find("schema");
+  SECFLOW_CHECK(schema && schema->is_string() &&
+                    schema->as_string() == "secflow.fuzz-repro/1",
+                "'" + path + "' is not a secflow.fuzz-repro/1 document");
+  const JsonValue* hdl = j.find("minimized_hdl");
+  SECFLOW_CHECK(hdl && hdl->is_string(), "repro: missing minimized_hdl");
+  const JsonValue* oo = j.find("oracle_options");
+  SECFLOW_CHECK(oo && oo->is_object(), "repro: missing oracle_options");
+  const JsonValue* stored = j.find("battery_digest");
+  SECFLOW_CHECK(stored && stored->is_string(),
+                "repro: missing battery_digest");
+
+  const FuzzProgram program = parse_fuzz_program(hdl->as_string());
+  const OracleReport rep =
+      run_oracle_battery(program, oracle_options_from_json(*oo));
+
+  ReplayResult res;
+  res.stored_digest = parse_hash_hex(stored->as_string());
+  res.replayed_digest = rep.digest();
+  res.digest_match = res.stored_digest == res.replayed_digest;
+  const OracleVerdict* fail = rep.first_failure();
+  res.still_fails = fail != nullptr && rep.injectable;
+  if (fail) res.oracle = fail->oracle;
+  return res;
+}
+
+}  // namespace secflow

@@ -1,0 +1,202 @@
+#include "fuzz/generator.h"
+
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+#include "base/rng.h"
+
+namespace secflow {
+namespace {
+
+/// A signal the expression builder may reference, with the rank barrier
+/// that prevents combinational loops: the assign producing rank r may only
+/// read signals of rank < r.  Inputs and registers are rank 0 (a register
+/// read is the *previous* cycle's value, so reading it never forms a
+/// combinational cycle).
+struct Avail {
+  std::string name;
+  int width = 1;
+  int rank = 0;
+};
+
+class Generator {
+ public:
+  Generator(std::uint64_t seed, const GeneratorOptions& opts)
+      : rng_(Rng::stream(seed, 0x66757a7aull /* "fuzz" */)), opts_(opts) {}
+
+  FuzzProgram run() {
+    FuzzProgram p;
+    p.name = "fz";
+    width_ = 2 + static_cast<int>(rng_.next_below(
+                     static_cast<std::uint64_t>(opts_.max_width - 1)));
+    const bool sequential = rng_.next_double() < opts_.seq_bias;
+    const bool has_reset =
+        sequential && rng_.next_double() < opts_.reset_bias;
+
+    const int n_in = opts_.min_inputs +
+                     static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(
+                         opts_.max_inputs - opts_.min_inputs + 1)));
+    if (has_reset) {
+      p.ports_in.push_back({"rst", 1});
+      avail_.push_back({"rst", 1, 0});
+    }
+    for (int i = 0; i < n_in; ++i) {
+      FuzzSignal s{"in" + std::to_string(i), pick_width()};
+      avail_.push_back({s.name, s.width, 0});
+      p.ports_in.push_back(std::move(s));
+    }
+
+    const int n_regs =
+        sequential ? 1 + static_cast<int>(rng_.next_below(
+                             static_cast<std::uint64_t>(opts_.max_regs)))
+                   : 0;
+    for (int i = 0; i < n_regs; ++i) {
+      FuzzSignal s{"r" + std::to_string(i), pick_width()};
+      avail_.push_back({s.name, s.width, 0});
+      p.regs.push_back(std::move(s));
+    }
+    p.has_clk = n_regs > 0;
+
+    // Wires at ranks 1..n_wires: wire k may read anything of lower rank.
+    const int n_wires = static_cast<int>(
+        rng_.next_below(static_cast<std::uint64_t>(opts_.max_wires + 1)));
+    for (int i = 0; i < n_wires; ++i) {
+      FuzzSignal s{"w" + std::to_string(i), pick_width()};
+      drive(p, s, /*max_rank=*/i + 1, /*seq=*/false);
+      avail_.push_back({s.name, s.width, i + 1});
+      p.wires.push_back(std::move(s));
+    }
+
+    // Outputs sit above every wire; they may read anything.
+    const int top = n_wires + 1;
+    const int n_out = 1 + static_cast<int>(rng_.next_below(
+                              static_cast<std::uint64_t>(opts_.max_outputs)));
+    for (int i = 0; i < n_out; ++i) {
+      FuzzSignal s{"out" + std::to_string(i), pick_width()};
+      drive(p, s, top, /*seq=*/false);
+      p.ports_out.push_back(std::move(s));
+    }
+
+    // Register next-state logic; a reset design clears under rst.
+    for (const auto& r : p.regs) {
+      FuzzExpr next = expr(r.width, top, opts_.max_depth);
+      if (has_reset) {
+        FuzzExpr mux;
+        mux.kind = FuzzExpr::Kind::kMux;
+        mux.kids.push_back(ref_expr("rst", 1));
+        mux.kids.push_back(const_expr(0, r.width));
+        mux.kids.push_back(std::move(next));
+        next = std::move(mux);
+      }
+      p.seq.push_back({r.name, -1, std::move(next)});
+    }
+    p.split_always = !p.seq.empty() && rng_.next_bool();
+    return p;
+  }
+
+ private:
+  int pick_width() { return rng_.next_below(3) == 0 ? 1 : width_; }
+
+  /// Emit the assign(s) driving `s`: usually one whole-signal assign,
+  /// sometimes one assign per bit (bit-granular driving is a distinct
+  /// elaboration path worth fuzzing).
+  void drive(FuzzProgram& p, const FuzzSignal& s, int max_rank, bool seq) {
+    auto& list = seq ? p.seq : p.comb;
+    if (s.width > 1 && rng_.next_below(4) == 0) {
+      for (int b = 0; b < s.width; ++b)
+        list.push_back({s.name, b, expr(1, max_rank, opts_.max_depth)});
+    } else {
+      list.push_back({s.name, -1, expr(s.width, max_rank, opts_.max_depth)});
+    }
+  }
+
+  FuzzExpr const_expr(std::uint64_t value, int width) {
+    FuzzExpr e;
+    e.kind = FuzzExpr::Kind::kConst;
+    e.bit = width;
+    e.value = value & ((width >= 64) ? ~0ull : ((1ull << width) - 1));
+    return e;
+  }
+
+  FuzzExpr ref_expr(const std::string& name, int /*width*/) {
+    FuzzExpr e;
+    e.kind = FuzzExpr::Kind::kRef;
+    e.ref = name;
+    return e;
+  }
+
+  /// A random leaf of the requested width readable below `max_rank`:
+  /// a ref of matching width, a bit-select (scalar context only), or a
+  /// constant as last resort.
+  FuzzExpr leaf(int width, int max_rank) {
+    std::vector<const Avail*> full, wide;
+    for (const auto& a : avail_) {
+      if (a.rank >= max_rank) continue;
+      if (a.width == width) full.push_back(&a);
+      if (width == 1 && a.width > 1) wide.push_back(&a);
+    }
+    const std::size_t n = full.size() + wide.size();
+    // Small constant probability keeps reconvergence interesting without
+    // degenerating into constant folding.
+    if (n == 0 || rng_.next_below(8) == 0)
+      return const_expr(rng_.next_u64(), width);
+    const std::size_t pick = rng_.next_below(n);
+    if (pick < full.size()) return ref_expr(full[pick]->name, width);
+    const Avail* a = wide[pick - full.size()];
+    FuzzExpr e;
+    e.kind = FuzzExpr::Kind::kBitSel;
+    e.ref = a->name;
+    e.bit = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(a->width)));
+    return e;
+  }
+
+  FuzzExpr expr(int width, int max_rank, int depth) {
+    if (depth <= 0 || rng_.next_below(4) == 0) return leaf(width, max_rank);
+    FuzzExpr e;
+    switch (rng_.next_below(5)) {
+      case 0:
+        e.kind = FuzzExpr::Kind::kNot;
+        e.kids.push_back(expr(width, max_rank, depth - 1));
+        break;
+      case 1:
+        e.kind = FuzzExpr::Kind::kAnd;
+        break;
+      case 2:
+        e.kind = FuzzExpr::Kind::kOr;
+        break;
+      case 3:
+        e.kind = FuzzExpr::Kind::kXor;
+        break;
+      case 4:
+        e.kind = FuzzExpr::Kind::kMux;
+        e.kids.push_back(expr(1, max_rank, depth - 1));
+        e.kids.push_back(expr(width, max_rank, depth - 1));
+        e.kids.push_back(expr(width, max_rank, depth - 1));
+        return e;
+    }
+    if (e.kids.empty()) {  // binary ops
+      e.kids.push_back(expr(width, max_rank, depth - 1));
+      e.kids.push_back(expr(width, max_rank, depth - 1));
+    }
+    return e;
+  }
+
+  Rng rng_;
+  GeneratorOptions opts_;
+  int width_ = 2;        ///< the design's vector width
+  std::vector<Avail> avail_;
+};
+
+}  // namespace
+
+FuzzProgram generate_program(std::uint64_t seed, const GeneratorOptions& opts) {
+  SECFLOW_CHECK(opts.max_width >= 2 && opts.max_width <= 8,
+                "max_width out of range");
+  SECFLOW_CHECK(opts.min_inputs >= 1 && opts.max_inputs >= opts.min_inputs,
+                "bad input bounds");
+  SECFLOW_CHECK(opts.max_outputs >= 1, "need at least one output");
+  return Generator(seed, opts).run();
+}
+
+}  // namespace secflow

@@ -1,0 +1,109 @@
+#include "fuzz/inject.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "base/error.h"
+
+namespace secflow {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kSubstitutionPinSwap: return "pin-swap";
+    case FaultKind::kRailSwap: return "rail-swap";
+    case FaultKind::kCapImbalance: return "cap-imbalance";
+  }
+  return "?";
+}
+
+FaultKind parse_fault_kind(const std::string& name) {
+  for (FaultKind k : {FaultKind::kNone, FaultKind::kSubstitutionPinSwap,
+                      FaultKind::kRailSwap, FaultKind::kCapImbalance}) {
+    if (name == fault_kind_name(k)) return k;
+  }
+  throw Error("unknown fault kind '" + name +
+              "' (none|pin-swap|rail-swap|cap-imbalance)");
+}
+
+namespace {
+
+/// Does swapping function inputs i and j change the function?
+bool swap_matters(const LogicFn& fn, int i, int j) {
+  const int n = fn.n_inputs();
+  for (std::uint64_t x = 0; x < (1ull << n); ++x) {
+    const std::uint64_t bi = (x >> i) & 1, bj = (x >> j) & 1;
+    if (bi == bj) continue;
+    const std::uint64_t y = (x & ~((1ull << i) | (1ull << j))) | (bi << j) |
+                            (bj << i);
+    if (fn.eval(x) != fn.eval(y)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string inject_pin_swap(Netlist& fat) {
+  for (InstId id : fat.instance_ids()) {
+    const CellType& cell = fat.cell_of(id);
+    if (cell.kind != CellKind::kCombinational || cell.n_inputs() < 2) continue;
+    const std::vector<int> ins = cell.input_pins();
+    for (std::size_t a = 0; a < ins.size(); ++a) {
+      for (std::size_t b = a + 1; b < ins.size(); ++b) {
+        const NetId na = fat.instance(id).conns[ins[a]];
+        const NetId nb = fat.instance(id).conns[ins[b]];
+        if (!na.valid() || !nb.valid() || na == nb) continue;
+        if (!swap_matters(cell.function, static_cast<int>(a),
+                          static_cast<int>(b)))
+          continue;
+        fat.disconnect(id, ins[a]);
+        fat.disconnect(id, ins[b]);
+        fat.connect(id, ins[a], nb);
+        fat.connect(id, ins[b], na);
+        return fat.instance(id).name + "/" + cell.pins[ins[a]].name + "<->" +
+               cell.pins[ins[b]].name;
+      }
+    }
+  }
+  return "";
+}
+
+std::string inject_rail_swap(Netlist& diff) {
+  // Deterministic order: scan nets by name so the same design always gets
+  // the same injected fault.
+  std::map<std::string, NetId> by_name;
+  for (NetId id : diff.net_ids()) by_name.emplace(diff.net(id).name, id);
+  for (const auto& [name, t] : by_name) {
+    if (name.size() < 2 || name.compare(name.size() - 2, 2, "_t") != 0)
+      continue;
+    const NetId f = diff.find_net(name.substr(0, name.size() - 2) + "_f");
+    if (!f.valid()) continue;
+    const auto dt = diff.driver(t);
+    const auto df = diff.driver(f);
+    if (!dt || !df) continue;  // port-driven rails cannot be crossed here
+    diff.disconnect(dt->inst, dt->pin);
+    diff.disconnect(df->inst, df->pin);
+    diff.connect(dt->inst, dt->pin, f);
+    diff.connect(df->inst, df->pin, t);
+    return name + "<->" + name.substr(0, name.size() - 2) + "_f";
+  }
+  return "";
+}
+
+std::string inject_cap_imbalance(Extraction& ex, double extra_ff) {
+  std::vector<std::string> names;
+  names.reserve(ex.nets.size());
+  for (const auto& [name, np] : ex.nets) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    if (name.size() < 2 || name.compare(name.size() - 2, 2, "_t") != 0)
+      continue;
+    if (!ex.find(name.substr(0, name.size() - 2) + "_f")) continue;
+    ex.nets[name].wire_cap_ff += extra_ff;
+    return name;
+  }
+  return "";
+}
+
+}  // namespace secflow

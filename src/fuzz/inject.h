@@ -1,0 +1,55 @@
+// Deliberate bug injection for fuzzer self-tests.
+//
+// The oracle catalogue is only trustworthy if it demonstrably *fails* when
+// the flow is broken.  Each FaultKind plants one representative class of
+// backend bug into a specific intermediate artifact; the fuzz tests assert
+// the battery catches each one and that the minimizer shrinks the
+// triggering design.  kNone is the production setting.
+#pragma once
+
+#include <string>
+
+#include "extract/extract.h"
+#include "netlist/netlist.h"
+
+namespace secflow {
+
+enum class FaultKind {
+  kNone = 0,
+  /// Cell-substitution bug: swap two input pins of a fat compound whose
+  /// function is not symmetric under that swap.  The fat netlist then
+  /// computes the wrong function — LEC(fat == rtl) and fat-vs-original
+  /// simulation must both object.
+  kSubstitutionPinSwap,
+  /// Decomposition/expansion bug: cross the _t and _f driver connections
+  /// of one differential rail pair.  The pair stays complementary and
+  /// still switches exactly once per phase (the switching oracles stay
+  /// quiet by design), but the decomposed design computes the wrong
+  /// value — only the differential-vs-reference simulation catches it.
+  kRailSwap,
+  /// Extraction/balancing bug: add capacitance to one rail of one pair,
+  /// breaking the DESIGN.md §5 matched-load bound.
+  kCapImbalance,
+};
+
+/// "none" | "pin-swap" | "rail-swap" | "cap-imbalance".
+const char* fault_kind_name(FaultKind k);
+/// Inverse of fault_kind_name; throws Error on unknown names.
+FaultKind parse_fault_kind(const std::string& name);
+
+/// Apply kSubstitutionPinSwap to a fat netlist.  Returns a description of
+/// the edit ("inst/pin_i<->pin_j"), or "" when no instance offers two
+/// distinct nets on an asymmetric pin pair (the caller treats the case as
+/// not-injectable and skips it).
+std::string inject_pin_swap(Netlist& fat);
+
+/// Apply kRailSwap to a differential netlist.  Returns "net_t<->net_f" or
+/// "" when no instance-driven rail pair exists.
+std::string inject_rail_swap(Netlist& diff);
+
+/// Apply kCapImbalance: add `extra_ff` to the true rail of the first rail
+/// pair (in deterministic net-name order) present in the extraction.
+/// Returns the victim net name or "".
+std::string inject_cap_imbalance(Extraction& ex, double extra_ff = 25.0);
+
+}  // namespace secflow

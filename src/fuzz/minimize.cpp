@@ -1,0 +1,305 @@
+#include "fuzz/minimize.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/error.h"
+
+namespace secflow {
+namespace {
+
+void collect_refs(const FuzzExpr& e, std::set<std::string>& out) {
+  if (!e.ref.empty()) out.insert(e.ref);
+  for (const auto& k : e.kids) collect_refs(k, out);
+}
+
+/// Every signal referenced on a right-hand side or as a target.
+std::set<std::string> used_signals(const FuzzProgram& p) {
+  std::set<std::string> out;
+  for (const auto* stmts : {&p.comb, &p.seq})
+    for (const auto& st : *stmts) {
+      out.insert(st.target);
+      collect_refs(st.rhs, out);
+    }
+  return out;
+}
+
+void substitute_ref(FuzzExpr& e, const std::string& name,
+                    const FuzzExpr& repl) {
+  if (e.ref == name &&
+      (e.kind == FuzzExpr::Kind::kRef || e.kind == FuzzExpr::Kind::kBitSel)) {
+    // A bit-select of the replaced signal collapses to the replacement
+    // only when the replacement is scalar-compatible; the caller passes a
+    // constant, which we re-width here.
+    FuzzExpr r = repl;
+    if (e.kind == FuzzExpr::Kind::kBitSel && r.kind == FuzzExpr::Kind::kConst)
+      r.bit = 1;
+    e = std::move(r);
+    return;
+  }
+  for (auto& k : e.kids) substitute_ref(k, name, repl);
+}
+
+FuzzExpr const0(int width) {
+  FuzzExpr e;
+  e.kind = FuzzExpr::Kind::kConst;
+  e.bit = width;
+  e.value = 0;
+  return e;
+}
+
+// --- expression node addressing (pre-order) ---------------------------------
+
+int count_nodes(const FuzzExpr& e) {
+  int n = 1;
+  for (const auto& k : e.kids) n += count_nodes(k);
+  return n;
+}
+
+/// Pre-order node `idx` of `e`, plus the width of its context (root width
+/// given by the caller; mux conditions and bit-selects are scalar).
+struct NodeAt {
+  FuzzExpr* node = nullptr;
+  int width = 0;
+};
+
+NodeAt find_node(FuzzExpr& e, int& idx, int width) {
+  if (idx == 0) return {&e, width};
+  --idx;
+  for (std::size_t k = 0; k < e.kids.size(); ++k) {
+    const int kid_width =
+        (e.kind == FuzzExpr::Kind::kMux && k == 0) ? 1 : width;
+    NodeAt r = find_node(e.kids[k], idx, kid_width);
+    if (r.node) return r;
+  }
+  return {};
+}
+
+class Minimizer {
+ public:
+  Minimizer(const FuzzProgram& p,
+            const std::function<bool(const FuzzProgram&)>& pred,
+            const MinimizeOptions& opts)
+      : cur_(p), pred_(pred), opts_(opts) {}
+
+  MinimizeResult run() {
+    MinimizeResult res;
+    res.initial_lines = hdl_line_count(cur_);
+    bool changed = true;
+    while (changed && !exhausted()) {
+      changed = false;
+      changed |= drop_outputs();
+      changed |= regs_to_inputs();
+      changed |= eliminate_wires();
+      changed |= shrink_exprs();
+      changed |= drop_unused_inputs();
+      changed |= scalarize();
+    }
+    res.program = cur_;
+    res.attempts = attempts_;
+    res.final_lines = hdl_line_count(res.program);
+    return res;
+  }
+
+ private:
+  bool exhausted() const { return attempts_ >= opts_.max_attempts; }
+
+  /// One predicate evaluation; commits `cand` when it still fails.
+  bool accept(const FuzzProgram& cand) {
+    if (exhausted()) return false;
+    ++attempts_;
+    if (!pred_(cand)) return false;
+    cur_ = cand;
+    return true;
+  }
+
+  bool drop_outputs() {
+    bool any = false;
+    for (std::size_t i = cur_.ports_out.size(); i-- > 0;) {
+      if (cur_.ports_out.size() <= 1 || exhausted()) break;
+      FuzzProgram cand = cur_;
+      const std::string name = cand.ports_out[i].name;
+      cand.ports_out.erase(cand.ports_out.begin() + i);
+      std::erase_if(cand.comb,
+                    [&](const FuzzStmt& st) { return st.target == name; });
+      any |= accept(cand);
+    }
+    return any;
+  }
+
+  /// A register becomes a free input: its next-state logic disappears and
+  /// every reader keeps a legal signal to read.
+  bool regs_to_inputs() {
+    bool any = false;
+    for (std::size_t i = cur_.regs.size(); i-- > 0;) {
+      if (exhausted()) break;
+      FuzzProgram cand = cur_;
+      FuzzSignal reg = cand.regs[i];
+      cand.regs.erase(cand.regs.begin() + i);
+      std::erase_if(cand.seq,
+                    [&](const FuzzStmt& st) { return st.target == reg.name; });
+      cand.ports_in.push_back(reg);
+      if (cand.regs.empty()) {
+        cand.has_clk = false;
+        cand.split_always = false;
+      }
+      any |= accept(cand);
+    }
+    return any;
+  }
+
+  /// Replace every read of a wire with 0 and delete its declaration and
+  /// drivers.
+  bool eliminate_wires() {
+    bool any = false;
+    for (std::size_t i = cur_.wires.size(); i-- > 0;) {
+      if (exhausted()) break;
+      FuzzProgram cand = cur_;
+      const FuzzSignal wire = cand.wires[i];
+      cand.wires.erase(cand.wires.begin() + i);
+      std::erase_if(cand.comb,
+                    [&](const FuzzStmt& st) { return st.target == wire.name; });
+      const FuzzExpr zero = const0(wire.width);
+      for (auto* stmts : {&cand.comb, &cand.seq})
+        for (auto& st : *stmts) substitute_ref(st.rhs, wire.name, zero);
+      any |= accept(cand);
+    }
+    return any;
+  }
+
+  bool drop_unused_inputs() {
+    bool any = false;
+    const std::set<std::string> used = used_signals(cur_);
+    for (std::size_t i = cur_.ports_in.size(); i-- > 0;) {
+      if (cur_.ports_in.size() <= 1 || exhausted()) break;
+      if (used.count(cur_.ports_in[i].name)) continue;
+      FuzzProgram cand = cur_;
+      cand.ports_in.erase(cand.ports_in.begin() + i);
+      any |= accept(cand);
+    }
+    return any;
+  }
+
+  /// Hill-climb every statement's expression: try to replace each node by
+  /// a same-width child, then by constant 0.
+  bool shrink_exprs() {
+    bool any = false;
+    for (auto* stmts : {&cur_.comb, &cur_.seq}) {
+      for (std::size_t s = 0; s < stmts->size(); ++s) {
+        int idx = 0;
+        while (!exhausted()) {
+          // Re-resolve against cur_ every iteration: accept() replaces it.
+          auto& live = (stmts == &cur_.comb ? cur_.comb : cur_.seq);
+          if (s >= live.size()) break;
+          FuzzStmt& st = live[s];
+          const int root_w = st.target_bit >= 0
+                                 ? 1
+                                 : std::max(1, signal_width(cur_, st.target));
+          if (idx >= count_nodes(st.rhs)) break;
+          bool replaced = false;
+          for (const FuzzExpr& cand_repl : candidates(st.rhs, idx, root_w)) {
+            FuzzProgram cand = cur_;
+            auto& cstmts = (stmts == &cur_.comb ? cand.comb : cand.seq);
+            int j = idx;
+            NodeAt at = find_node(cstmts[s].rhs, j, root_w);
+            *at.node = cand_repl;
+            if (accept(cand)) {
+              replaced = true;
+              any = true;
+              break;
+            }
+            if (exhausted()) break;
+          }
+          // On success re-try the same index (the subtree changed);
+          // otherwise move on.
+          if (!replaced) ++idx;
+        }
+      }
+    }
+    return any;
+  }
+
+  std::vector<FuzzExpr> candidates(FuzzExpr& root, int idx, int root_w) {
+    int j = idx;
+    NodeAt at = find_node(root, j, root_w);
+    std::vector<FuzzExpr> out;
+    if (!at.node) return out;
+    const FuzzExpr& e = *at.node;
+    switch (e.kind) {
+      case FuzzExpr::Kind::kNot:
+        out.push_back(e.kids[0]);
+        break;
+      case FuzzExpr::Kind::kAnd:
+      case FuzzExpr::Kind::kOr:
+      case FuzzExpr::Kind::kXor:
+        out.push_back(e.kids[0]);
+        out.push_back(e.kids[1]);
+        break;
+      case FuzzExpr::Kind::kMux:
+        out.push_back(e.kids[1]);
+        out.push_back(e.kids[2]);
+        break;
+      case FuzzExpr::Kind::kConst:
+        return out;  // already minimal; constant-0 attempt below is a dup
+      case FuzzExpr::Kind::kRef:
+      case FuzzExpr::Kind::kBitSel:
+        break;
+    }
+    if (!(e.kind == FuzzExpr::Kind::kConst && e.value == 0))
+      out.push_back(const0(at.width));
+    return out;
+  }
+
+  /// Collapse every vector to 1 bit in one shot: decls become scalar,
+  /// bit-selects become plain refs, per-bit assigns fold to bit 0.
+  bool scalarize() {
+    bool vectors = false;
+    for (const auto* v : {&cur_.ports_in, &cur_.ports_out, &cur_.wires,
+                          &cur_.regs})
+      for (const auto& s : *v) vectors |= s.width > 1;
+    if (!vectors || exhausted()) return false;
+
+    FuzzProgram cand = cur_;
+    for (auto* v : {&cand.ports_in, &cand.ports_out, &cand.wires, &cand.regs})
+      for (auto& s : *v) s.width = 1;
+    for (auto* stmts : {&cand.comb, &cand.seq}) {
+      // Per-bit assigns to one signal collapse to the bit-0 statement.
+      std::erase_if(*stmts,
+                    [](const FuzzStmt& st) { return st.target_bit > 0; });
+      for (auto& st : *stmts) {
+        st.target_bit = -1;
+        scalarize_expr(st.rhs);
+      }
+    }
+    return accept(cand);
+  }
+
+  static void scalarize_expr(FuzzExpr& e) {
+    if (e.kind == FuzzExpr::Kind::kBitSel) {
+      e.kind = FuzzExpr::Kind::kRef;
+      e.bit = 0;
+    } else if (e.kind == FuzzExpr::Kind::kConst) {
+      e.value &= 1;
+      e.bit = 1;
+    }
+    for (auto& k : e.kids) scalarize_expr(k);
+  }
+
+  FuzzProgram cur_;
+  const std::function<bool(const FuzzProgram&)>& pred_;
+  MinimizeOptions opts_;
+  int attempts_ = 0;
+};
+
+}  // namespace
+
+MinimizeResult minimize_program(
+    const FuzzProgram& p,
+    const std::function<bool(const FuzzProgram&)>& still_fails,
+    const MinimizeOptions& opts) {
+  SECFLOW_CHECK(still_fails(p),
+                "minimize_program: predicate does not hold on the input");
+  return Minimizer(p, still_fails, opts).run();
+}
+
+}  // namespace secflow

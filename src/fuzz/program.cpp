@@ -1,0 +1,439 @@
+#include "fuzz/program.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "base/error.h"
+#include "base/rng.h"
+
+namespace secflow {
+namespace {
+
+void emit_expr(std::ostream& os, const FuzzExpr& e) {
+  switch (e.kind) {
+    case FuzzExpr::Kind::kConst:
+      // Width is recovered at parse time from the target's declaration;
+      // emit as decimal so any width 1..64 round-trips.  The emitter does
+      // not know the context width, so the generator stores it in `bit`.
+      os << e.bit << "'d" << e.value;
+      break;
+    case FuzzExpr::Kind::kRef:
+      os << e.ref;
+      break;
+    case FuzzExpr::Kind::kBitSel:
+      os << e.ref << "[" << e.bit << "]";
+      break;
+    case FuzzExpr::Kind::kNot:
+      os << "~";
+      emit_expr(os, e.kids[0]);
+      break;
+    case FuzzExpr::Kind::kAnd:
+    case FuzzExpr::Kind::kOr:
+    case FuzzExpr::Kind::kXor: {
+      const char* op = e.kind == FuzzExpr::Kind::kAnd   ? " & "
+                       : e.kind == FuzzExpr::Kind::kOr ? " | "
+                                                       : " ^ ";
+      os << "(";
+      emit_expr(os, e.kids[0]);
+      os << op;
+      emit_expr(os, e.kids[1]);
+      os << ")";
+      break;
+    }
+    case FuzzExpr::Kind::kMux:
+      os << "(";
+      emit_expr(os, e.kids[0]);
+      os << " ? ";
+      emit_expr(os, e.kids[1]);
+      os << " : ";
+      emit_expr(os, e.kids[2]);
+      os << ")";
+      break;
+  }
+}
+
+void emit_decl(std::ostream& os, const char* cls, const FuzzSignal& s) {
+  os << "  " << cls << " ";
+  if (s.width > 1) os << "[" << s.width - 1 << ":0] ";
+  os << s.name << ";\n";
+}
+
+void emit_stmt_target(std::ostream& os, const FuzzStmt& st) {
+  os << st.target;
+  if (st.target_bit >= 0) os << "[" << st.target_bit << "]";
+}
+
+}  // namespace
+
+std::string emit_hdl(const FuzzProgram& p) {
+  std::ostringstream os;
+  os << "module " << p.name << " (";
+  bool first = true;
+  auto port = [&](const char* dir, const FuzzSignal& s) {
+    if (!first) os << ", ";
+    first = false;
+    os << dir << " ";
+    if (s.width > 1) os << "[" << s.width - 1 << ":0] ";
+    os << s.name;
+  };
+  if (p.has_clk) port("input", FuzzSignal{"clk", 1});
+  for (const auto& s : p.ports_in) port("input", s);
+  for (const auto& s : p.ports_out) port("output", s);
+  os << ");\n";
+  for (const auto& s : p.wires) emit_decl(os, "wire", s);
+  for (const auto& s : p.regs) emit_decl(os, "reg", s);
+  for (const auto& st : p.comb) {
+    os << "  assign ";
+    emit_stmt_target(os, st);
+    os << " = ";
+    emit_expr(os, st.rhs);
+    os << ";\n";
+  }
+  if (!p.seq.empty()) {
+    if (p.split_always) {
+      for (const auto& st : p.seq) {
+        os << "  always @(posedge clk) ";
+        emit_stmt_target(os, st);
+        os << " <= ";
+        emit_expr(os, st.rhs);
+        os << ";\n";
+      }
+    } else {
+      os << "  always @(posedge clk) begin\n";
+      for (const auto& st : p.seq) {
+        os << "    ";
+        emit_stmt_target(os, st);
+        os << " <= ";
+        emit_expr(os, st.rhs);
+        os << ";\n";
+      }
+      os << "  end\n";
+    }
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+int hdl_line_count(const FuzzProgram& p) {
+  const std::string text = emit_hdl(p);
+  return static_cast<int>(std::count(text.begin(), text.end(), '\n'));
+}
+
+int signal_width(const FuzzProgram& p, const std::string& name) {
+  for (const auto* v : {&p.ports_in, &p.ports_out, &p.wires, &p.regs})
+    for (const auto& s : *v)
+      if (s.name == name) return s.width;
+  return 0;
+}
+
+// --- parser -----------------------------------------------------------------
+//
+// A strict recursive-descent reader of exactly the emit_hdl() output
+// language.  It exists for replay (corpus .v → FuzzProgram), so it rejects
+// anything the emitter cannot produce rather than guessing.
+
+namespace {
+
+class ProgramParser {
+ public:
+  explicit ProgramParser(const std::string& src) : src_(src) {}
+
+  FuzzProgram parse() {
+    FuzzProgram p;
+    keyword("module");
+    p.name = ident();
+    punct("(");
+    bool first = true;
+    while (!peek_punct(")")) {
+      if (!first) punct(",");
+      first = false;
+      const std::string dir = ident();
+      FuzzSignal s;
+      s.width = opt_range();
+      s.name = ident();
+      if (dir == "input") {
+        if (s.name == "clk") {
+          if (s.width != 1 || p.has_clk || !p.ports_in.empty())
+            fail("clk must be the first scalar input");
+          p.has_clk = true;
+        } else {
+          p.ports_in.push_back(std::move(s));
+        }
+      } else if (dir == "output") {
+        p.ports_out.push_back(std::move(s));
+      } else {
+        fail("expected input/output, got '" + dir + "'");
+      }
+    }
+    punct(")");
+    punct(";");
+    bool saw_always = false;
+    while (!peek_keyword("endmodule")) {
+      const std::string head = ident();
+      if (head == "wire" || head == "reg") {
+        FuzzSignal s;
+        s.width = opt_range();
+        s.name = ident();
+        punct(";");
+        (head == "wire" ? p.wires : p.regs).push_back(std::move(s));
+      } else if (head == "assign") {
+        p.comb.push_back(stmt("="));
+        punct(";");
+      } else if (head == "always") {
+        punct("@");
+        punct("(");
+        keyword("posedge");
+        keyword("clk");
+        punct(")");
+        if (peek_keyword("begin")) {
+          keyword("begin");
+          if (saw_always) fail("multiple begin/end always blocks");
+          while (!peek_keyword("end")) {
+            p.seq.push_back(stmt("<="));
+            punct(";");
+          }
+          keyword("end");
+        } else {
+          p.split_always = true;
+          p.seq.push_back(stmt("<="));
+          punct(";");
+        }
+        saw_always = true;
+      } else {
+        fail("unexpected item '" + head + "'");
+      }
+    }
+    keyword("endmodule");
+    skip_ws();
+    if (pos_ != src_.size()) fail("trailing input after endmodule");
+    if (!p.seq.empty() && !p.has_clk) fail("sequential program without clk");
+    return p;
+  }
+
+ private:
+  FuzzStmt stmt(const char* op) {
+    FuzzStmt st;
+    st.target = ident();
+    if (peek_punct("[")) {
+      punct("[");
+      st.target_bit = number();
+      punct("]");
+    }
+    punct(op);
+    st.rhs = expr();
+    return st;
+  }
+
+  // The emitter parenthesizes every binary/mux node, so an expression is:
+  //   primary | ~expr | ( expr OP expr ) | ( expr ? expr : expr )
+  FuzzExpr expr() {
+    skip_ws();
+    FuzzExpr e;
+    if (peek_punct("~")) {
+      punct("~");
+      e.kind = FuzzExpr::Kind::kNot;
+      e.kids.push_back(expr());
+      return e;
+    }
+    if (peek_punct("(")) {
+      punct("(");
+      FuzzExpr lhs = expr();
+      skip_ws();
+      if (peek_punct("?")) {
+        punct("?");
+        e.kind = FuzzExpr::Kind::kMux;
+        e.kids.push_back(std::move(lhs));
+        e.kids.push_back(expr());
+        punct(":");
+        e.kids.push_back(expr());
+      } else {
+        if (peek_punct("&")) {
+          punct("&");
+          e.kind = FuzzExpr::Kind::kAnd;
+        } else if (peek_punct("|")) {
+          punct("|");
+          e.kind = FuzzExpr::Kind::kOr;
+        } else if (peek_punct("^")) {
+          punct("^");
+          e.kind = FuzzExpr::Kind::kXor;
+        } else {
+          fail("expected binary operator");
+        }
+        e.kids.push_back(std::move(lhs));
+        e.kids.push_back(expr());
+      }
+      punct(")");
+      return e;
+    }
+    if (std::isdigit(static_cast<unsigned char>(cur()))) {
+      const int width = number();
+      punct("'");
+      if (cur() != 'd') fail("expected decimal literal");
+      ++pos_;
+      e.kind = FuzzExpr::Kind::kConst;
+      e.bit = width;
+      e.value = static_cast<std::uint64_t>(number64());
+      return e;
+    }
+    e.ref = ident();
+    if (peek_punct("[")) {
+      punct("[");
+      e.kind = FuzzExpr::Kind::kBitSel;
+      e.bit = number();
+      punct("]");
+    } else {
+      e.kind = FuzzExpr::Kind::kRef;
+    }
+    return e;
+  }
+
+  // [W-1:0] or nothing.
+  int opt_range() {
+    skip_ws();
+    if (!peek_punct("[")) return 1;
+    punct("[");
+    const int msb = number();
+    punct(":");
+    if (number() != 0) fail("range must end at bit 0");
+    punct("]");
+    return msb + 1;
+  }
+
+  char cur() { return pos_ < src_.size() ? src_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_])))
+      ++pos_;
+  }
+
+  bool peek_punct(const std::string& tok) {
+    skip_ws();
+    return src_.compare(pos_, tok.size(), tok) == 0;
+  }
+
+  void punct(const std::string& tok) {
+    if (!peek_punct(tok)) fail("expected '" + tok + "'");
+    pos_ += tok.size();
+  }
+
+  std::string ident() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '_'))
+      ++pos_;
+    if (pos_ == start) fail("expected identifier");
+    return src_.substr(start, pos_ - start);
+  }
+
+  bool peek_keyword(const std::string& kw) {
+    skip_ws();
+    if (src_.compare(pos_, kw.size(), kw) != 0) return false;
+    const std::size_t after = pos_ + kw.size();
+    if (after < src_.size() &&
+        (std::isalnum(static_cast<unsigned char>(src_[after])) ||
+         src_[after] == '_'))
+      return false;
+    return true;
+  }
+
+  void keyword(const std::string& kw) {
+    if (!peek_keyword(kw)) fail("expected '" + kw + "'");
+    pos_ += kw.size();
+  }
+
+  int number() {
+    const std::int64_t v = number64();
+    if (v > 1'000'000) fail("number out of range");
+    return static_cast<int>(v);
+  }
+
+  std::int64_t number64() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_])))
+      ++pos_;
+    if (pos_ == start) fail("expected number");
+    return std::stoll(src_.substr(start, pos_ - start));
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw ParseError("fuzz-program:" + std::to_string(pos_), what);
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+/// Fisher–Yates with the repo's deterministic Rng.
+template <typename T>
+void shuffle_vec(std::vector<T>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i)
+    std::swap(v[i - 1], v[rng.next_below(i)]);
+}
+
+void rename_in_expr(FuzzExpr& e,
+                    const std::map<std::string, std::string>& table) {
+  if (!e.ref.empty()) {
+    auto it = table.find(e.ref);
+    if (it != table.end()) e.ref = it->second;
+  }
+  for (auto& k : e.kids) rename_in_expr(k, table);
+}
+
+}  // namespace
+
+FuzzProgram parse_fuzz_program(const std::string& hdl) {
+  return ProgramParser(hdl).parse();
+}
+
+FuzzProgram rename_wires(const FuzzProgram& p, std::uint64_t seed) {
+  FuzzProgram out = p;
+  Rng rng(seed);
+  std::map<std::string, std::string> table;
+  std::set<std::string> taken;
+  for (const auto* v : {&p.ports_in, &p.ports_out, &p.regs})
+    for (const auto& s : *v) taken.insert(s.name);
+  taken.insert("clk");
+  for (auto& s : out.wires) {
+    std::string fresh;
+    do {
+      fresh = "mw" + std::to_string(rng.next_below(100000));
+    } while (!taken.insert(fresh).second);
+    table[s.name] = fresh;
+    s.name = fresh;
+  }
+  for (auto* stmts : {&out.comb, &out.seq})
+    for (auto& st : *stmts) {
+      auto it = table.find(st.target);
+      if (it != table.end()) st.target = it->second;
+      rename_in_expr(st.rhs, table);
+    }
+  return out;
+}
+
+FuzzProgram shuffle_statements(const FuzzProgram& p, std::uint64_t seed) {
+  FuzzProgram out = p;
+  Rng rng(seed);
+  shuffle_vec(out.wires, rng);
+  shuffle_vec(out.comb, rng);
+  shuffle_vec(out.seq, rng);
+  out.split_always = rng.next_bool();
+  return out;
+}
+
+FuzzProgram permute_ports(const FuzzProgram& p, std::uint64_t seed) {
+  FuzzProgram out = p;
+  Rng rng(seed);
+  shuffle_vec(out.ports_in, rng);
+  shuffle_vec(out.ports_out, rng);
+  return out;
+}
+
+}  // namespace secflow

@@ -188,8 +188,20 @@ std::vector<InstId> Netlist::topological_order() const {
   std::deque<InstId> ready;
   std::vector<InstId> order;
   order.reserve(insts_.size());
+  // Sequential/constant sources (flops, ties) strictly precede every
+  // combinational gate, regardless of instance insertion order: consumers
+  // walking the order may read a source's output net from any gate.
   for (std::size_t i = 0; i < insts_.size(); ++i) {
-    if (pending[i] == 0) ready.emplace_back(static_cast<std::int32_t>(i));
+    const CellType& type = library_->cell(insts_[i].cell);
+    if (type.kind != CellKind::kCombinational) {
+      ready.emplace_back(static_cast<std::int32_t>(i));
+    }
+  }
+  for (std::size_t i = 0; i < insts_.size(); ++i) {
+    const CellType& type = library_->cell(insts_[i].cell);
+    if (type.kind == CellKind::kCombinational && pending[i] == 0) {
+      ready.emplace_back(static_cast<std::int32_t>(i));
+    }
   }
   while (!ready.empty()) {
     const InstId id = ready.front();

@@ -155,8 +155,17 @@ class Parser {
   JsonValue parse_value() {
     skip_ws();
     const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
+    if (c == '{' || c == '[') {
+      // Recursion guard: parse_object/parse_array recurse through here, so
+      // a deeply nested document would otherwise overflow the stack.
+      if (depth_ >= kMaxDepth) {
+        fail("nesting depth exceeds " + std::to_string(kMaxDepth));
+      }
+      ++depth_;
+      JsonValue v = c == '{' ? parse_object() : parse_array();
+      --depth_;
+      return v;
+    }
     if (c == '"') return JsonValue(parse_string());
     if (consume_word("null")) return JsonValue();
     if (consume_word("true")) return JsonValue(true);
@@ -276,8 +285,13 @@ class Parser {
     }
   }
 
+  /// Deeper than any document our writers emit, far shallower than the
+  /// stack can take at this frame size.
+  static constexpr int kMaxDepth = 256;
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

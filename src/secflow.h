@@ -39,6 +39,14 @@
 #include "campaign/report.h"
 #include "campaign/spec.h"
 
+// Differential flow-fuzzer: random sequential designs, the metamorphic /
+// security / cross-check oracle catalogue, reproducer minimization.
+#include "fuzz/fuzzer.h"
+#include "fuzz/generator.h"
+#include "fuzz/minimize.h"
+#include "fuzz/oracles.h"
+#include "fuzz/program.h"
+
 // Netlist analysis and transformation helpers.
 #include "netlist/netlist_ops.h"
 #include "sta/sta.h"

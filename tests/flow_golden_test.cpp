@@ -1,10 +1,10 @@
 // Golden-hash regression test for the flow's stage artifacts.
 //
-// Runs the secure flow on a small fixed design with checkpointing enabled,
+// Runs both flows on small fixed designs with checkpointing enabled,
 // hashes every stage's checkpoint file, and compares against the hashes
 // checked in at tests/golden/flow_small.golden.  Any behavioural drift in
 // synthesis, substitution, placement, routing, decomposition or extraction
-// shows up as a per-stage hash mismatch.
+// shows up as a per-stage hash mismatch, keyed `<design>.<flow>.<stage>`.
 //
 // When a change is *intentional*, regenerate the golden file with:
 //
@@ -46,27 +46,65 @@ constexpr const char* kSmallDesign = R"(
     assign y = r ^ b;
   endmodule)";
 
-std::map<std::string, std::string> run_and_hash() {
+// The flow-fuzzer's grammar in miniature: synchronous reset, a scalar and
+// a vector register, bit-granular assigns and a mux — the WDDL features
+// (tie compounds, rail-swapped port buffers, gated master/slave flops)
+// the plain `small` design does not reach.
+constexpr const char* kSeqRstDesign = R"(
+  module seqrst (input clk, input rst, input [1:0] d, input s,
+                 output [1:0] q, output p);
+    reg [1:0] r;
+    reg f;
+    wire [1:0] n;
+    assign n[0] = (s ? d[0] : r[1]) ^ f;
+    assign n[1] = ~(d[1] & r[0]);
+    always @(posedge clk) begin
+      r <= rst ? 2'd0 : n;
+      f <= rst ? 1'd0 : (d[0] | f);
+    end
+    assign q = r;
+    assign p = ~f;
+  endmodule)";
+
+/// Run one flow on one design and hash every executed stage's checkpoint,
+/// keyed `<design>.<flow>.<stage>`.
+std::map<std::string, std::string> run_and_hash(const std::string& design,
+                                                const char* hdl,
+                                                FlowKind kind) {
   const fs::path dir = fs::path(::testing::TempDir()) / "flow_golden_cache";
   fs::remove_all(dir);
   FlowOptions opts;
   opts.cache_dir = dir.string();
-  const SecureFlowResult r =
-      run_secure_flow(parse_hdl(kSmallDesign), builtin_stdcell018(), opts);
+  const auto base = builtin_stdcell018();
+  StageTimings timings;
+  if (kind == FlowKind::kSecure) {
+    timings = run_secure_flow(parse_hdl(hdl), base, opts).timings;
+  } else {
+    timings = run_regular_flow(parse_hdl(hdl), base, opts).timings;
+  }
 
   const ArtifactStore store(dir.string());
   std::map<std::string, std::string> hashes;
   for (int i = 0; i < kNumFlowStages; ++i) {
     const FlowStage s = static_cast<FlowStage>(i);
-    const std::string path =
-        store.path_for(flow_stage_name(s), r.timings.key(s));
+    if (timings.outcome(s) == CacheOutcome::kNotRun) continue;
+    const std::string path = store.path_for(flow_stage_name(s), timings.key(s));
     std::ifstream f(path, std::ios::binary);
     EXPECT_TRUE(f.good()) << "missing checkpoint " << path;
     std::ostringstream ss;
     ss << f.rdbuf();
-    hashes[flow_stage_name(s)] = hash_hex(fnv1a(ss.str()));
+    hashes[design + "." + flow_kind_name(kind) + "." + flow_stage_name(s)] =
+        hash_hex(fnv1a(ss.str()));
   }
   fs::remove_all(dir);
+  return hashes;
+}
+
+std::map<std::string, std::string> run_all() {
+  std::map<std::string, std::string> hashes;
+  hashes.merge(run_and_hash("small", kSmallDesign, FlowKind::kSecure));
+  hashes.merge(run_and_hash("small", kSmallDesign, FlowKind::kRegular));
+  hashes.merge(run_and_hash("seqrst", kSeqRstDesign, FlowKind::kSecure));
   return hashes;
 }
 
@@ -79,7 +117,7 @@ std::map<std::string, std::string> read_golden(const std::string& path) {
 }
 
 TEST(FlowGolden, StageArtifactsMatchCheckedInHashes) {
-  const std::map<std::string, std::string> hashes = run_and_hash();
+  const std::map<std::string, std::string> hashes = run_all();
 
   if (std::getenv("SECFLOW_REGEN_GOLDEN") != nullptr) {
     std::ofstream out(SECFLOW_GOLDEN_FILE, std::ios::trunc);
@@ -94,13 +132,13 @@ TEST(FlowGolden, StageArtifactsMatchCheckedInHashes) {
       << "no golden data at " << SECFLOW_GOLDEN_FILE
       << " — regenerate with SECFLOW_REGEN_GOLDEN=1 ./flow_golden_test";
 
-  // Per-stage comparison so drift reads as "routing changed", not just
-  // "something changed".
+  // Per-point comparison so drift reads as "seqrst secure routing
+  // changed", not just "something changed".
   for (const auto& [stage, hex] : hashes) {
     const auto it = golden.find(stage);
-    ASSERT_NE(it, golden.end()) << "golden file lacks stage " << stage;
+    ASSERT_NE(it, golden.end()) << "golden file lacks " << stage;
     EXPECT_EQ(hex, it->second)
-        << "stage '" << stage << "' artifact drifted from golden.\n"
+        << "'" << stage << "' artifact drifted from golden.\n"
         << "If this change is intentional, regenerate with:\n"
         << "  SECFLOW_REGEN_GOLDEN=1 ./build/tests/flow_golden_test";
   }
@@ -110,7 +148,7 @@ TEST(FlowGolden, StageArtifactsMatchCheckedInHashes) {
 TEST(FlowGolden, HashesAreReproducibleWithinABuild) {
   // The golden comparison is only meaningful if two runs of the same build
   // agree with each other.
-  EXPECT_EQ(run_and_hash(), run_and_hash());
+  EXPECT_EQ(run_all(), run_all());
 }
 
 }  // namespace

@@ -64,6 +64,27 @@ TEST(Json, ParserRejectsMalformedInput) {
   EXPECT_THROW(json_parse("{\"a\" 1}"), ParseError);
 }
 
+TEST(Json, DeepNestingFailsCleanlyInsteadOfOverflowingTheStack) {
+  // Just inside the limit parses; past it throws a ParseError rather than
+  // recursing until the stack dies.
+  std::string deep_ok(255, '[');
+  deep_ok += "1";
+  deep_ok += std::string(255, ']');
+  EXPECT_NO_THROW(json_parse(deep_ok));
+
+  std::string too_deep(100000, '[');
+  try {
+    json_parse(too_deep);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting depth"), std::string::npos);
+  }
+
+  std::string deep_obj;
+  for (int i = 0; i < 400; ++i) deep_obj += "{\"k\":";
+  EXPECT_THROW(json_parse(deep_obj), ParseError);
+}
+
 TEST(Json, ParsesEscapesAndNesting) {
   const JsonValue v = json_parse(
       R"({"s": "a\n\t\"\\A", "nested": {"arr": [true, false, null]}})");

@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include "base/error.h"
+#include "campaign/spec.h"
 #include "lef/lef_io.h"
 #include "liberty/builtin_lib.h"
 #include "liberty/liberty_parser.h"
 #include "netlist/verilog_parser.h"
+#include "obs/report.h"
 #include "pnr/def.h"
 #include "synth/hdl.h"
 
@@ -66,6 +68,47 @@ NETS 1 ;
 END NETS
 END DESIGN
 )";
+
+const char* kCampaignSpec = R"({
+  "schema": "secflow.campaign/1",
+  "name": "sweep",
+  "cache_dir": "ckpt",
+  "threads": 2,
+  "jobs": [
+    {"name": "a", "circuit": {"builtin": "des-dpa"}, "flow": "secure",
+     "seed": 7,
+     "dpa": {"n_measurements": 400, "noise_ma": 0.5, "select_bit": 3,
+             "sbox": 2, "key": 11},
+     "options": {"route_mode": "quick", "shielded_pairs": false,
+                 "place": {"seed": 5, "sa_batch": 8},
+                 "route": {"via_cost": 4},
+                 "extract": {"variation_sigma": 0.01}}},
+    {"circuit": {"hdl": "module m(input a, output y); assign y = a; endmodule"},
+     "flow": "regular",
+     "options": {"stop_after": "placement"}}
+  ]
+})";
+
+/// A valid secflow.flow-report/1 document, produced by the writer itself
+/// so the sweep input can never drift from the schema.
+std::string sample_flow_report_json() {
+  FlowReport r;
+  r.flow = "secure";
+  r.design = "small";
+  r.completed_through = "extraction";
+  r.n_threads = 2;
+  r.cells = 12;
+  StageEntry e;
+  e.name = "synthesis";
+  e.ms = 1.25;
+  e.cache = "miss";
+  e.cache_key = "00000000deadbeef";
+  r.stages.push_back(e);
+  r.secure.present = true;
+  r.secure.lec_equivalent = true;
+  r.metrics.counters["pnr.route.iterations"] = 2;
+  return flow_report_json(r);
+}
 
 const char* kHdl = R"(
 module m (input clk, input [3:0] a, output [3:0] y);
@@ -135,6 +178,19 @@ TEST(ParserRobustness, Hdl) {
   sweep_mutations(kHdl, parse);
 }
 
+TEST(ParserRobustness, CampaignSpec) {
+  auto parse = [](const std::string& s) { parse_campaign_spec(s); };
+  sweep_truncations(kCampaignSpec, parse);
+  sweep_mutations(kCampaignSpec, parse);
+}
+
+TEST(ParserRobustness, FlowReport) {
+  const std::string doc = sample_flow_report_json();
+  auto parse = [](const std::string& s) { parse_flow_report(s); };
+  sweep_truncations(doc, parse);
+  sweep_mutations(doc, parse);
+}
+
 TEST(ParserRobustness, ValidDocumentsStillParse) {
   const auto lib = builtin_stdcell018();
   EXPECT_NO_THROW(parse_verilog(kVerilog, lib));
@@ -142,6 +198,8 @@ TEST(ParserRobustness, ValidDocumentsStillParse) {
   EXPECT_NO_THROW(parse_lef(kLef));
   EXPECT_NO_THROW(parse_def(kDef));
   EXPECT_NO_THROW(parse_hdl(kHdl));
+  EXPECT_NO_THROW(parse_campaign_spec(kCampaignSpec));
+  EXPECT_NO_THROW(parse_flow_report(sample_flow_report_json()));
 }
 
 }  // namespace
