@@ -12,24 +12,44 @@ using namespace secflow;
 
 namespace {
 
-void drive(PowerSimulator& sim, std::uint32_t pl, std::uint32_t pr,
-           std::uint32_t k) {
-  auto rails = [&](const std::string& base, int width, std::uint32_t v) {
+/// Rail port ids of one bit-blasted input, resolved once.
+struct RailPorts {
+  std::vector<std::pair<PortId, PortId>> bits;
+  RailPorts(const Netlist& nl, const std::string& base, int width) {
     for (int b = 0; b < width; ++b) {
-      sim.set_input(base + "_" + std::to_string(b) + "_t", (v >> b) & 1);
-      sim.set_input(base + "_" + std::to_string(b) + "_f", !((v >> b) & 1));
+      const std::string bit = base + "_" + std::to_string(b);
+      bits.emplace_back(nl.find_port(bit + "_t"), nl.find_port(bit + "_f"));
     }
-  };
-  rails("pl", 4, pl);
-  rails("pr", 6, pr);
-  rails("k", 6, k);
-}
+  }
+  void drive(PowerSimulator& sim, std::uint32_t v) const {
+    for (std::size_t b = 0; b < bits.size(); ++b) {
+      sim.set_input(bits[b].first, (v >> b) & 1);
+      sim.set_input(bits[b].second, !((v >> b) & 1));
+    }
+  }
+};
+
+struct DrivePorts {
+  RailPorts pl, pr, k;
+  explicit DrivePorts(const Netlist& nl)
+      : pl(nl, "pl", 4), pr(nl, "pr", 6), k(nl, "k", 6) {}
+  void drive(PowerSimulator& sim, std::uint32_t plv, std::uint32_t prv,
+             std::uint32_t kv) const {
+    pl.drive(sim, plv);
+    pr.drive(sim, prv);
+    k.drive(sim, kv);
+  }
+};
 
 }  // namespace
 
 int main() {
   bench::DesDesigns d = bench::build_des_designs();
   const DfaMonitor monitor(d.secure.diff);
+  // One compiled model for the whole period sweep; reset() per period.
+  const CompiledSimModel model = compile_power_model(d.secure);
+  const DrivePorts ports(d.secure.diff);
+  PowerSimulator sim(model);
 
   bench::header("Sec 4.3",
                 "DFA clock-glitch detection via redundant encoding");
@@ -38,19 +58,19 @@ int main() {
 
   Rng rng(31);
   double detect_from = -1.0, clean_from = -1.0;
+  bool first = true;
   for (double period : {400.0, 800.0, 1200.0, 1600.0, 2000.0, 2400.0, 2800.0,
                         3200.0, 4800.0, 8000.0}) {
-    PowerSimOptions opts;
-    opts.precharge_inputs = true;
-    PowerSimulator sim(d.secure.diff, d.secure.caps, opts);
+    if (!first) sim.reset();
+    first = false;
     // Two normal cycles establish valid state, then the glitched cycle.
-    drive(sim, 5, 21, 46);
+    ports.drive(sim, 5, 21, 46);
     sim.run_cycle();
-    drive(sim, static_cast<std::uint32_t>(rng.next_below(16)),
-          static_cast<std::uint32_t>(rng.next_below(64)), 46);
+    ports.drive(sim, static_cast<std::uint32_t>(rng.next_below(16)),
+                static_cast<std::uint32_t>(rng.next_below(64)), 46);
     sim.run_cycle();
-    drive(sim, static_cast<std::uint32_t>(rng.next_below(16)),
-          static_cast<std::uint32_t>(rng.next_below(64)), 46);
+    ports.drive(sim, static_cast<std::uint32_t>(rng.next_below(16)),
+                static_cast<std::uint32_t>(rng.next_below(64)), 46);
     sim.run_cycle(period);
     const auto alarms = monitor.check(sim);
     bench::row("%-14.0f %10zu %14s", period, alarms.size(),

@@ -1,15 +1,18 @@
-// Shared helpers for the reproduction benches: consistent table printing
-// and the standard flow setup used across experiments.
+// Shared helpers for the reproduction benches: consistent table printing,
+// an optional machine-readable JSON report (`--json <path>`), and the
+// standard flow setup used across experiments.
 #pragma once
 
 #include <cstdarg>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
 #include "crypto/des.h"
 #include "flow/flow.h"
 #include "liberty/builtin_lib.h"
+#include "obs/json.h"
 
 namespace secflow::bench {
 
@@ -27,6 +30,58 @@ inline void row(const char* fmt, ...) {
 }
 
 inline void blank() { std::printf("\n"); }
+
+/// Machine-readable bench results (document `secflow.bench-report/1`).
+/// Pass `--json <path>` (or `--json=<path>`) on a bench's command line to
+/// write `{"schema", "bench", "metrics": {...}, "notes": {...}}` when the
+/// report is destroyed; without the flag the report is a no-op and the
+/// bench prints its human tables as before.  CI uploads these files to
+/// track the performance trajectory across commits.
+class JsonReport {
+ public:
+  JsonReport(std::string bench_name, int argc, char** argv)
+      : bench_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        path_ = argv[i + 1];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        path_ = arg.substr(7);
+      }
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Record one numeric result (e.g. "reused.traces_per_s").
+  void metric(const std::string& name, double value) {
+    metrics_.set(name, value);
+  }
+  /// Record one string annotation (e.g. "design" -> "des").
+  void note(const std::string& key, const std::string& value) {
+    notes_.set(key, value);
+  }
+
+  ~JsonReport() {
+    if (!enabled()) return;
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", "secflow.bench-report/1");
+    doc.set("bench", bench_);
+    doc.set("metrics", std::move(metrics_));
+    doc.set("notes", std::move(notes_));
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << json_dump(doc, 2) << "\n";
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+ private:
+  std::string bench_;
+  std::string path_;
+  JsonValue metrics_ = JsonValue::object();
+  JsonValue notes_ = JsonValue::object();
+};
 
 /// The paper's design example through both flows (deterministic).
 struct DesDesigns {

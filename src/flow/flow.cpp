@@ -336,6 +336,17 @@ SynthConstraints wddl_synth_constraints() {
   return c;
 }
 
+CompiledSimModel compile_power_model(const RegularFlowResult& result,
+                                     PowerSimOptions opts) {
+  return CompiledSimModel(result.rtl, result.caps, opts);
+}
+
+CompiledSimModel compile_power_model(const SecureFlowResult& result,
+                                     PowerSimOptions opts) {
+  opts.precharge_inputs = true;  // WDDL: inputs precharge to (0,0)
+  return CompiledSimModel(result.diff, result.caps, opts);
+}
+
 RegularFlowResult run_regular_flow(const AigCircuit& circuit,
                                    std::shared_ptr<const CellLibrary> library,
                                    const FlowOptions& opts) {

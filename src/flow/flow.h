@@ -215,6 +215,17 @@ struct SecureFlowResult : FlowArtifacts {
   CheckResult stream_out_check;      ///< diff netlist == diff.def wiring
 };
 
+/// Compile the simulate-many power model for a finished flow: the attacked
+/// netlist (rtl for the regular flow, the differential netlist for the
+/// secure flow — with WDDL input precharge forced on) plus its extracted
+/// cap table.  The model borrows the result's netlist, so the flow result
+/// must outlive it.  Build once, then share across simulate_traces /
+/// run_des_dpa_campaign / DFA sweeps.
+CompiledSimModel compile_power_model(const RegularFlowResult& result,
+                                     PowerSimOptions opts = {});
+CompiledSimModel compile_power_model(const SecureFlowResult& result,
+                                     PowerSimOptions opts = {});
+
 /// Run the regular (reference) flow on an elaborated circuit.
 RegularFlowResult run_regular_flow(const AigCircuit& circuit,
                                    std::shared_ptr<const CellLibrary> library,

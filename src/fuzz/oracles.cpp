@@ -143,6 +143,20 @@ std::string lec_detail(const LecResult& r) {
   return d + ")";
 }
 
+/// Resolve bit-blasted port names on a netlist once, so per-vector loops
+/// use the id-based sim API instead of hashing names every cycle.
+std::vector<PortId> resolve_ports(const Netlist& nl,
+                                  const std::vector<std::string>& names) {
+  std::vector<PortId> ids;
+  ids.reserve(names.size());
+  for (const auto& n : names) {
+    const PortId pid = nl.find_port(n);
+    SECFLOW_CHECK(pid.valid(), "unknown port: " + n);
+    ids.push_back(pid);
+  }
+  return ids;
+}
+
 /// Fat-vs-original lockstep simulation over random vectors (sequential
 /// designs advance the clock between vectors, so state diverges too).
 OracleVerdict sim_agreement_oracle(const FuzzProgram& p, const Netlist& rtl,
@@ -151,6 +165,10 @@ OracleVerdict sim_agreement_oracle(const FuzzProgram& p, const Netlist& rtl,
   OracleVerdict v{"cross-sim-fat-rtl", true, ""};
   const auto ins = input_bits(p);
   const auto outs = output_bits(p);
+  const auto a_ins = resolve_ports(rtl, ins);
+  const auto b_ins = resolve_ports(fat, ins);
+  const auto a_outs = resolve_ports(rtl, outs);
+  const auto b_outs = resolve_ports(fat, outs);
   FunctionalSim a(rtl);
   FunctionalSim b(fat);
   a.propagate();
@@ -158,19 +176,19 @@ OracleVerdict sim_agreement_oracle(const FuzzProgram& p, const Netlist& rtl,
   Rng rng = Rng::stream(opts.seed, 1);
   const bool seq = !p.regs.empty();
   for (int i = 0; i < opts.n_vectors && v.ok; ++i) {
-    for (const auto& n : ins) {
+    for (std::size_t k = 0; k < ins.size(); ++k) {
       const bool bit = rng.next_bool();
-      a.set_input(n, bit);
-      b.set_input(n, bit);
+      a.set_input(a_ins[k], bit);
+      b.set_input(b_ins[k], bit);
     }
     a.propagate();
     b.propagate();
-    for (const auto& o : outs) {
-      if (a.output(o) != b.output(o)) {
+    for (std::size_t k = 0; k < outs.size(); ++k) {
+      if (a.output(a_outs[k]) != b.output(b_outs[k])) {
         v.ok = false;
-        v.detail = "vector " + std::to_string(i) + ": output " + o +
-                   " rtl=" + std::to_string(a.output(o)) +
-                   " fat=" + std::to_string(b.output(o));
+        v.detail = "vector " + std::to_string(i) + ": output " + outs[k] +
+                   " rtl=" + std::to_string(a.output(a_outs[k])) +
+                   " fat=" + std::to_string(b.output(b_outs[k]));
         break;
       }
     }
@@ -197,7 +215,26 @@ std::vector<OracleVerdict> wddl_sim_oracles(const FuzzProgram& p,
   const auto ins = input_bits(p);
   const auto outs = output_bits(p);
   const bool seq = !p.regs.empty();
-  const bool diff_clk = diff.find_port("clk").valid();
+  const PortId diff_clk = diff.find_port("clk");
+
+  // Resolve every rail/reference port once; the per-cycle lambdas below
+  // run on ids only.
+  std::vector<PortId> in_t(ins.size()), in_f(ins.size());
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    in_t[i] = diff.find_port(ins[i] + "_t");
+    in_f[i] = diff.find_port(ins[i] + "_f");
+    SECFLOW_CHECK(in_t[i].valid() && in_f[i].valid(),
+                  "missing rail ports: " + ins[i]);
+  }
+  std::vector<PortId> out_t(outs.size()), out_f(outs.size());
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    out_t[i] = diff.find_port(outs[i] + "_t");
+    out_f[i] = diff.find_port(outs[i] + "_f");
+    SECFLOW_CHECK(out_t[i].valid() && out_f[i].valid(),
+                  "missing rail ports: " + outs[i]);
+  }
+  const auto ref_ins = resolve_ports(rtl, ins);
+  const auto ref_outs = resolve_ports(rtl, outs);
 
   // Differential rail pairs, in deterministic net-id order.
   std::vector<std::pair<NetId, NetId>> pairs;
@@ -225,33 +262,33 @@ std::vector<OracleVerdict> wddl_sim_oracles(const FuzzProgram& p,
   }
 
   auto drive_eval = [&](const std::vector<bool>& v) {
-    if (diff_clk) sim.set_input("clk", true);
+    if (diff_clk.valid()) sim.set_input(diff_clk, true);
     for (std::size_t i = 0; i < ins.size(); ++i) {
-      sim.set_input(ins[i] + "_t", v[i]);
-      sim.set_input(ins[i] + "_f", !v[i]);
+      sim.set_input(in_t[i], v[i]);
+      sim.set_input(in_f[i], !v[i]);
     }
     sim.propagate();
   };
   auto drive_precharge = [&] {
-    if (diff_clk) sim.set_input("clk", false);
-    for (const auto& n : ins) {
-      sim.set_input(n + "_t", false);
-      sim.set_input(n + "_f", false);
+    if (diff_clk.valid()) sim.set_input(diff_clk, false);
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      sim.set_input(in_t[i], false);
+      sim.set_input(in_f[i], false);
     }
     sim.propagate();
   };
   auto compare_outputs = [&](int cycle, const std::vector<bool>& v) {
     if (!agree.ok) return;
-    for (std::size_t i = 0; i < ins.size(); ++i) ref.set_input(ins[i], v[i]);
+    for (std::size_t i = 0; i < ins.size(); ++i) ref.set_input(ref_ins[i], v[i]);
     ref.propagate();
-    for (const auto& o : outs) {
-      const bool want = ref.output(o);
-      if (sim.output(o + "_t") != want || sim.output(o + "_f") != !want) {
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      const bool want = ref.output(ref_outs[i]);
+      if (sim.output(out_t[i]) != want || sim.output(out_f[i]) != !want) {
         agree.ok = false;
-        agree.detail = "cycle " + std::to_string(cycle) + ": output " + o +
-                       " ref=" + std::to_string(want) + " rails=(" +
-                       std::to_string(sim.output(o + "_t")) + "," +
-                       std::to_string(sim.output(o + "_f")) + ")";
+        agree.detail = "cycle " + std::to_string(cycle) + ": output " +
+                       outs[i] + " ref=" + std::to_string(want) + " rails=(" +
+                       std::to_string(sim.output(out_t[i])) + "," +
+                       std::to_string(sim.output(out_f[i])) + ")";
         return;
       }
     }

@@ -151,6 +151,10 @@ bool FunctionalSim::net_value(const std::string& name) const {
 bool FunctionalSim::output(const std::string& port_name) const {
   const PortId pid = nl_.find_port(port_name);
   SECFLOW_CHECK(pid.valid(), "unknown port: " + port_name);
+  return output(pid);
+}
+
+bool FunctionalSim::output(PortId pid) const {
   return net_value(nl_.port(pid).net);
 }
 

@@ -56,6 +56,7 @@ class FunctionalSim {
   bool net_value(NetId id) const;
   bool net_value(const std::string& name) const;
   bool output(const std::string& port_name) const;
+  bool output(PortId port) const;
   bool flop_state(InstId flop) const;
 
  private:

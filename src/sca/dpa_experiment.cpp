@@ -12,31 +12,53 @@
 namespace secflow {
 namespace {
 
-/// Set a multi-bit input on a single-ended or differential simulator.
-void drive_value(PowerSimulator& sim, const std::string& base, int width,
-                 std::uint32_t value, bool differential) {
+/// Pre-resolved port ids for one multi-bit value.  For a differential
+/// netlist each bit has a true and a false rail; single-ended designs
+/// leave `f` invalid.  Resolved once per campaign so the per-trace task
+/// never hashes a port name.
+struct BitPorts {
+  PortId t;
+  PortId f;
+};
+
+std::vector<BitPorts> resolve_bits(const Netlist& nl, const std::string& base,
+                                   int width, bool differential) {
+  std::vector<BitPorts> ports(static_cast<std::size_t>(width));
   for (int i = 0; i < width; ++i) {
     const std::string bit = base + "_" + std::to_string(i);
-    const bool v = (value >> i) & 1;
+    BitPorts& b = ports[static_cast<std::size_t>(i)];
     if (differential) {
-      sim.set_input(bit + "_t", v);
-      sim.set_input(bit + "_f", !v);
+      b.t = nl.find_port(bit + "_t");
+      b.f = nl.find_port(bit + "_f");
+      SECFLOW_CHECK(b.t.valid() && b.f.valid(), "missing rail ports: " + bit);
     } else {
-      sim.set_input(bit, v);
+      b.t = nl.find_port(bit);
+      SECFLOW_CHECK(b.t.valid(), "unknown port: " + bit);
     }
+  }
+  return ports;
+}
+
+/// Set a multi-bit input on a single-ended or differential simulator.
+void drive_value(PowerSimulator& sim, const std::vector<BitPorts>& ports,
+                 std::uint32_t value, bool differential) {
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    const bool v = (value >> i) & 1;
+    sim.set_input(ports[i].t, v);
+    if (differential) sim.set_input(ports[i].f, !v);
   }
 }
 
 /// Read a multi-bit observable.  A WDDL design is observable only during
 /// the evaluate phase (rails precharge to 0 afterwards); a regular design
 /// is read at the end of the cycle, when everything has settled.
-std::uint32_t read_value(const PowerSimulator& sim, const std::string& base,
-                         int width, bool differential) {
+std::uint32_t read_value(const PowerSimulator& sim,
+                         const std::vector<BitPorts>& ports,
+                         bool differential) {
   std::uint32_t v = 0;
-  for (int i = 0; i < width; ++i) {
-    const std::string bit = base + "_" + std::to_string(i);
-    const bool b = differential ? sim.output_at_eval(bit + "_t")
-                                : sim.output(bit);
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    const bool b = differential ? sim.output_at_eval(ports[i].t)
+                                : sim.output(ports[i].t);
     if (b) v |= 1u << i;
   }
   return v;
@@ -52,7 +74,7 @@ SelectionFn des_selection(int bit, int sbox) {
   };
 }
 
-DesDpaCampaign run_des_dpa_campaign(const Netlist& nl, const CapTable& caps,
+DesDpaCampaign run_des_dpa_campaign(const CompiledSimModel& model,
                                     const DesDpaSetup& setup,
                                     bool differential) {
   Span span("sca.dpa.campaign", "sca");
@@ -61,35 +83,45 @@ DesDpaCampaign run_des_dpa_campaign(const Netlist& nl, const CapTable& caps,
   SECFLOW_LOG_INFO("sca", "DPA campaign start",
                    LogField("measurements", setup.n_measurements),
                    LogField("differential", differential));
-  PowerSimOptions opts;
-  opts.precharge_inputs = differential;
+
+  // Resolve the Fig 4 interface once; the per-trace task below does no
+  // string lookups.
+  const Netlist& nl = model.netlist();
+  const std::vector<BitPorts> k_ports = resolve_bits(nl, "k", 6, differential);
+  const std::vector<BitPorts> pl_ports =
+      resolve_bits(nl, "pl", 4, differential);
+  const std::vector<BitPorts> pr_ports =
+      resolve_bits(nl, "pr", 6, differential);
+  const std::vector<BitPorts> cl_ports =
+      resolve_bits(nl, "cl", 4, differential);
+  const std::vector<BitPorts> cr_ports =
+      resolve_bits(nl, "cr", 6, differential);
 
   // One task per measurement.  The task replays a four-cycle
-  // mini-campaign on a private simulator so the recorded cycle carries
+  // mini-campaign on a reset simulator so the recorded cycle carries
   // exactly the register activity the attack targets:
   //   cycle 1  the previous plaintext reaches the PL/PR registers,
   //   cycle 2  the target plaintext arrives at the register inputs,
   //   cycle 3  PL/PR transition previous -> target   (the recorded trace),
   //   cycle 4  the ciphertext reaches the CL/CR output registers.
-  const TraceTask task = [&setup, differential](PowerSimulator& sim, Rng& rng,
-                                                int) {
+  const TraceTask task = [&](PowerSimulator& sim, Rng& rng, int) {
     const auto prev_pl = static_cast<std::uint32_t>(rng.next_below(16));
     const auto prev_pr = static_cast<std::uint32_t>(rng.next_below(64));
     const auto pl = static_cast<std::uint32_t>(rng.next_below(16));
     const auto pr = static_cast<std::uint32_t>(rng.next_below(64));
-    drive_value(sim, "k", 6, setup.key, differential);
-    drive_value(sim, "pl", 4, prev_pl, differential);
-    drive_value(sim, "pr", 6, prev_pr, differential);
+    drive_value(sim, k_ports, setup.key, differential);
+    drive_value(sim, pl_ports, prev_pl, differential);
+    drive_value(sim, pr_ports, prev_pr, differential);
     sim.settle();
     sim.run_cycle();
-    drive_value(sim, "pl", 4, pl, differential);
-    drive_value(sim, "pr", 6, pr, differential);
+    drive_value(sim, pl_ports, pl, differential);
+    drive_value(sim, pr_ports, pr, differential);
     sim.run_cycle();
     SimTrace out;
     out.cycle = sim.run_cycle();
     sim.run_cycle();
-    const std::uint32_t cl = read_value(sim, "cl", 4, differential);
-    const std::uint32_t cr = read_value(sim, "cr", 6, differential);
+    const std::uint32_t cl = read_value(sim, cl_ports, differential);
+    const std::uint32_t cr = read_value(sim, cr_ports, differential);
     out.observable = cl | (cr << 4);
     if (setup.noise_ma > 0.0) {
       for (double& s : out.cycle.current_ma) {
@@ -99,9 +131,8 @@ DesDpaCampaign run_des_dpa_campaign(const Netlist& nl, const CapTable& caps,
     return out;
   };
 
-  std::vector<SimTrace> traces =
-      simulate_traces(nl, caps, opts, setup.n_measurements, setup.seed, task,
-                      setup.parallelism);
+  std::vector<SimTrace> traces = simulate_traces(
+      model, setup.n_measurements, setup.seed, task, setup.parallelism);
 
   DpaOptions dpa_opts;
   dpa_opts.parallelism = setup.parallelism;
@@ -114,6 +145,15 @@ DesDpaCampaign run_des_dpa_campaign(const Netlist& nl, const CapTable& caps,
         DpaMeasurement{std::move(t.cycle.current_ma), t.observable});
   }
   return campaign;
+}
+
+DesDpaCampaign run_des_dpa_campaign(const Netlist& nl, const CapTable& caps,
+                                    const DesDpaSetup& setup,
+                                    bool differential) {
+  PowerSimOptions opts;
+  opts.precharge_inputs = differential;
+  const CompiledSimModel model(nl, caps, opts);
+  return run_des_dpa_campaign(model, setup, differential);
 }
 
 void attach_dpa(FlowReport& report, const DpaResult& result,

@@ -57,6 +57,15 @@ DesDpaCampaign run_des_dpa_campaign(const Netlist& nl, const CapTable& caps,
                                     const DesDpaSetup& setup,
                                     bool differential);
 
+/// Run the campaign against a prebuilt simulation model (compile once,
+/// attack many).  The model's options must already carry the right
+/// precharge mode (precharge_inputs == differential); all DES port names
+/// are resolved to PortIds once, so the per-trace task does no string
+/// lookups.
+DesDpaCampaign run_des_dpa_campaign(const CompiledSimModel& model,
+                                    const DesDpaSetup& setup,
+                                    bool differential);
+
 /// Fill FlowReport::dpa from an analyzed campaign: measurement count,
 /// ranked guess, disclosure verdict, best/runner-up peaks, and the mean
 /// per-cycle energy (pass an empty vector when energies were not kept).

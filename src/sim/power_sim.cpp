@@ -13,69 +13,65 @@ double CycleTrace::peak_ma() const {
   return p;
 }
 
-PowerSimulator::PowerSimulator(const Netlist& nl, CapTable caps,
-                               const PowerSimOptions& opts)
-    : nl_(nl),
-      caps_(std::move(caps)),
-      opts_(opts),
-      net_val_(nl.n_nets(), 0),
-      mid_val_(nl.n_nets(), 0),
-      net_next_(nl.n_nets(), 0),
-      pending_(nl.n_nets(), 0),
-      flop_state_(nl.n_instances(), 0),
-      input_val_(nl.n_ports(), 0) {
-  cap_of_.resize(nl.n_nets());
-  for (NetId id : nl.net_ids()) {
-    const auto it = caps_.find(nl.net(id).name);
-    if (it != caps_.end()) {
-      cap_of_[id.index()] = it->second;
-    } else {
-      // Fallback: sink pin caps plus a nominal local wire.
-      double c = 1.0;
-      for (const PinRef& p : nl.net(id).pins) {
-        const CellType& type = nl.cell_of(p.inst);
-        const PinDef& pin = type.pins[static_cast<std::size_t>(p.pin)];
-        if (pin.dir == PinDir::kInput) c += pin.cap_ff;
-      }
-      cap_of_[id.index()] = c;
-    }
-  }
-  find_clock();
-}
+PowerSimulator::PowerSimulator(const CompiledSimModel& model)
+    : model_(model),
+      net_val_(model.n_nets(), 0),
+      mid_val_(model.n_nets(), 0),
+      net_next_(model.n_nets(), 0),
+      pending_(model.n_nets(), 0),
+      flop_state_(model.n_instances(), 0),
+      input_val_(model.n_ports(), 0) {}
 
-void PowerSimulator::find_clock() {
-  for (InstId iid : nl_.instance_ids()) {
-    const CellType& type = nl_.cell_of(iid);
-    if (type.kind != CellKind::kFlop) continue;
-    const NetId ck =
-        nl_.instance(iid).conns[static_cast<std::size_t>(type.ck_pin())];
-    SECFLOW_CHECK(ck.valid(), "flop without clock net");
-    SECFLOW_CHECK(!clock_net_.valid() || clock_net_ == ck,
-                  "multiple clock nets");
-    clock_net_ = ck;
-  }
-  if (clock_net_.valid()) {
-    const auto port = nl_.driving_port(clock_net_);
-    SECFLOW_CHECK(port.has_value(), "clock must be driven by an input port");
-    clock_port_ = *port;
-  }
+PowerSimulator::PowerSimulator(const Netlist& nl, const CapTable& caps,
+                               const PowerSimOptions& opts)
+    : owned_(std::make_unique<CompiledSimModel>(nl, caps, opts)),
+      model_(*owned_),
+      net_val_(model_.n_nets(), 0),
+      mid_val_(model_.n_nets(), 0),
+      net_next_(model_.n_nets(), 0),
+      pending_(model_.n_nets(), 0),
+      flop_state_(model_.n_instances(), 0),
+      input_val_(model_.n_ports(), 0) {}
+
+void PowerSimulator::reset() {
+  std::fill(net_val_.begin(), net_val_.end(), 0);
+  std::fill(mid_val_.begin(), mid_val_.end(), 0);
+  std::fill(net_next_.begin(), net_next_.end(), 0);
+  std::fill(pending_.begin(), pending_.end(), 0);
+  std::fill(flop_state_.begin(), flop_state_.end(), 0);
+  std::fill(input_val_.begin(), input_val_.end(), 0);
+  heap_.clear();
+  seq_ = 0;
+  now_ps_ = 0.0;
 }
 
 void PowerSimulator::set_input(const std::string& port, bool value) {
-  const PortId pid = nl_.find_port(port);
+  const Netlist& nl = model_.netlist();
+  const PortId pid = nl.find_port(port);
   SECFLOW_CHECK(pid.valid(), "unknown port: " + port);
-  SECFLOW_CHECK(nl_.port(pid).dir == PinDir::kInput,
+  SECFLOW_CHECK(nl.port(pid).dir == PinDir::kInput,
                 "not an input port: " + port);
-  SECFLOW_CHECK(!(clock_port_.valid() && pid == clock_port_),
+  SECFLOW_CHECK(!(model_.clock_port().valid() && pid == model_.clock_port()),
                 "the clock is driven by the simulator");
   input_val_[pid.index()] = value ? 1 : 0;
 }
 
-double PowerSimulator::net_cap(NetId id) const { return cap_of_[id.index()]; }
+void PowerSimulator::set_input(PortId port, bool value) {
+  SECFLOW_CHECK(model_.is_data_input(port),
+                "not a data input port: " + model_.netlist().port(port).name);
+  input_val_[port.index()] = value ? 1 : 0;
+}
 
-double PowerSimulator::gate_delay(InstId driver, NetId out) const {
-  const CellType& type = nl_.cell_of(driver);
-  return type.intrinsic_delay_ps + type.drive_res_kohm * net_cap(out);
+void PowerSimulator::push_event(Event ev) {
+  heap_.push_back(ev);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+PowerSimulator::Event PowerSimulator::pop_event() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  const Event ev = heap_.back();
+  heap_.pop_back();
+  return ev;
 }
 
 void PowerSimulator::schedule(double t, NetId net, bool value) {
@@ -87,28 +83,42 @@ void PowerSimulator::schedule(double t, NetId net, bool value) {
   if (pending_[idx] == 0 ? net_val_[idx] == v : net_next_[idx] == v) return;
   net_next_[idx] = v;
   ++pending_[idx];
-  queue_.push(Event{t, net, value, seq_++});
+  push_event(Event{t, net, value, seq_++});
 }
 
 void PowerSimulator::deposit_charge(CycleTrace& trace, double t_ps,
-                                    double charge_fc, double tau_ps) const {
+                                    std::size_t net_idx) const {
   // Exponential pulse i(t) = (Q/tau) e^{-(t-t0)/tau}, discretized so the
   // sampled sum carries exactly Q.  fC per ps is mA.
-  const double dt = opts_.sampling.sample_dt_s() * 1e12;  // ps per sample
+  //
+  // Per bin [t0, t1) the delivered charge is Q (f(t0) - f(t1)) with
+  // f(t) = e^{-(t-t_ps)/tau}; consecutive bin edges satisfy
+  // f(t + dt) = f(t) * e^{-dt/tau}, so after the first (fractional) bin the
+  // loop needs one multiply per bin instead of two std::exp calls.
+  const double dt = model_.sample_dt_ps();
   const int n = static_cast<int>(trace.current_ma.size());
   int bin = static_cast<int>(t_ps / dt);
   if (bin >= n) return;  // event spilled past the cycle end
-  if (bin < 0) bin = 0;
+  const double charge_fc = model_.charge_fc(net_idx);
+  const double tau_ps = model_.tau_ps(net_idx);
+  const double decay = model_.bin_decay(net_idx);
+  // First bin starts at the event itself (f = 1) unless the event time was
+  // clamped below the window, in which case the pulse is already partway
+  // decayed at t = 0.
+  double f_prev = 1.0;
+  if (bin < 0) {
+    bin = 0;
+    f_prev = std::exp(t_ps / tau_ps);
+  }
+  // f at the first bin's right edge; thereafter advanced by the recurrence.
+  double f_next = std::exp(-((bin + 1) * dt - t_ps) / tau_ps);
   double remaining = charge_fc;
   for (int k = bin; k < n && remaining > 1e-9; ++k) {
-    const double t0 = std::max(t_ps, k * dt);
-    const double t1 = (k + 1) * dt;
-    if (t1 <= t0) continue;
-    // Charge delivered within [t0, t1).
-    const double q = charge_fc * (std::exp(-(t0 - t_ps) / tau_ps) -
-                                  std::exp(-(t1 - t_ps) / tau_ps));
+    const double q = charge_fc * (f_prev - f_next);
     trace.current_ma[static_cast<std::size_t>(k)] += q / dt;
     remaining -= q;
+    f_prev = f_next;
+    f_next *= decay;
   }
 }
 
@@ -122,91 +132,69 @@ void PowerSimulator::apply_event(const Event& ev, CycleTrace* trace,
     ++trace->transitions;
     if (ev.value) {
       // Rising edge draws supply charge for the net plus the driver's
-      // internal nodes.
-      double c = net_cap(ev.net);
-      double tau = opts_.min_tau_ps;
-      if (const auto drv = nl_.driver(ev.net)) {
-        const CellType& type = nl_.cell_of(drv->inst);
-        c += type.internal_cap_ff;
-        tau = std::max(tau, type.drive_res_kohm * net_cap(ev.net));
-      }
-      const double q_fc = c * opts_.process.vdd_v;
-      trace->energy_pj += opts_.process.switch_energy_pj(c);
-      deposit_charge(*trace, ev.time_ps - t_offset, q_fc, tau);
+      // internal nodes; all constants are precompiled per net.
+      trace->energy_pj += model_.rise_energy_pj(idx);
+      deposit_charge(*trace, ev.time_ps - t_offset, idx);
     }
   }
-  // Propagate to combinational sinks.
-  for (const PinRef& sink : nl_.net(ev.net).pins) {
-    const CellType& type = nl_.cell_of(sink.inst);
-    if (type.kind != CellKind::kCombinational) continue;
-    const Instance& in = nl_.instance(sink.inst);
-    const int out_pin = type.output_pin();
-    const NetId out = in.conns[static_cast<std::size_t>(out_pin)];
-    if (!out.valid()) continue;
+  // Propagate to combinational sinks via the compiled CSR adjacency.
+  for (const std::int32_t gid : model_.sinks_of(idx)) {
+    const CompiledSimModel::Gate& g =
+        model_.gates()[static_cast<std::size_t>(gid)];
+    const std::int32_t* inputs = model_.gate_input_nets(g);
     std::uint64_t bits = 0;
-    int k = 0;
-    for (int pin : type.input_pins()) {
-      const NetId net = in.conns[static_cast<std::size_t>(pin)];
-      if (net.valid() && net_val_[net.index()]) bits |= std::uint64_t{1} << k;
-      ++k;
+    for (std::int32_t k = 0; k < g.n_inputs; ++k) {
+      const std::int32_t net = inputs[k];
+      if (net >= 0 && net_val_[static_cast<std::size_t>(net)]) {
+        bits |= std::uint64_t{1} << k;
+      }
     }
-    schedule(ev.time_ps + gate_delay(sink.inst, out),
-             out, type.function.eval(bits));
+    schedule(ev.time_ps + g.delay_ps, NetId(g.out_net), g.fn.eval(bits));
   }
 }
 
 void PowerSimulator::drain_until(double t_end, CycleTrace* trace,
                                  double t_offset) {
-  while (!queue_.empty() && queue_.top().time_ps <= t_end) {
-    const Event ev = queue_.top();
-    queue_.pop();
+  while (!heap_.empty() && heap_.front().time_ps <= t_end) {
+    const Event ev = pop_event();
     apply_event(ev, trace, t_offset);
   }
 }
 
 void PowerSimulator::capture_flops(bool rising) {
   // Capture simultaneously from current values, then schedule Q updates.
-  std::vector<std::pair<InstId, bool>> captured;
-  for (InstId iid : nl_.instance_ids()) {
-    const CellType& type = nl_.cell_of(iid);
-    if (type.kind != CellKind::kFlop) continue;
-    if (type.negedge_clock == rising) continue;
-    const Instance& in = nl_.instance(iid);
-    const NetId d = in.conns[static_cast<std::size_t>(type.d_pin())];
-    SECFLOW_CHECK(d.valid(), "flop with floating D: " + in.name);
-    const bool v =
-        type.function.eval(net_val_[d.index()] ? 1 : 0);
-    captured.emplace_back(iid, v);
+  const std::vector<CompiledSimModel::Flop>& flops = model_.flops(rising);
+  capture_scratch_.resize(flops.size());
+  for (std::size_t i = 0; i < flops.size(); ++i) {
+    capture_scratch_[i] =
+        flops[i].fn.eval(net_val_[flops[i].d.index()] ? 1 : 0) ? 1 : 0;
   }
   const double edge = now_ps_;
-  for (const auto& [iid, v] : captured) {
-    flop_state_[iid.index()] = v ? 1 : 0;
-    const CellType& type = nl_.cell_of(iid);
-    const Instance& in = nl_.instance(iid);
-    const NetId q = in.conns[static_cast<std::size_t>(type.output_pin())];
-    if (q.valid()) schedule(edge + type.intrinsic_delay_ps, q, v);
+  for (std::size_t i = 0; i < flops.size(); ++i) {
+    const CompiledSimModel::Flop& f = flops[i];
+    const bool v = capture_scratch_[i] != 0;
+    flop_state_[f.inst.index()] = v ? 1 : 0;
+    if (f.q.valid()) schedule(edge + f.clk_to_q_ps, f.q, v);
   }
 }
 
 CycleTrace PowerSimulator::run_cycle(double period_ps) {
   const double period =
-      period_ps > 0.0 ? period_ps : opts_.sampling.cycle_s() * 1e12;
+      period_ps > 0.0 ? period_ps : model_.nominal_period_ps();
+  const PowerSimOptions& opts = model_.options();
   CycleTrace trace;
   trace.current_ma.assign(
-      static_cast<std::size_t>(opts_.sampling.samples_per_cycle), 0.0);
+      static_cast<std::size_t>(model_.samples_per_cycle()), 0.0);
   const double start = now_ps_;
 
   // Rising edge.
   capture_flops(/*rising=*/true);
-  if (clock_net_.valid()) {
-    schedule(start + opts_.clock_net_delay_ps, clock_net_, true);
+  if (model_.clock_net().valid()) {
+    schedule(start + opts.clock_net_delay_ps, model_.clock_net(), true);
   }
-  for (PortId pid : nl_.port_ids()) {
-    const Port& p = nl_.port(pid);
-    if (p.dir != PinDir::kInput) continue;
-    if (clock_port_.valid() && pid == clock_port_) continue;
-    schedule(start + opts_.input_delay_ps, p.net,
-             input_val_[pid.index()] != 0);
+  for (const CompiledSimModel::DataInput& di : model_.data_inputs()) {
+    schedule(start + opts.input_delay_ps, di.net,
+             input_val_[di.port.index()] != 0);
   }
   now_ps_ = start;
   drain_until(start + period / 2, &trace, start);
@@ -215,15 +203,12 @@ CycleTrace PowerSimulator::run_cycle(double period_ps) {
 
   // Falling edge.
   capture_flops(/*rising=*/false);
-  if (clock_net_.valid()) {
-    schedule(now_ps_ + opts_.clock_net_delay_ps, clock_net_, false);
+  if (model_.clock_net().valid()) {
+    schedule(now_ps_ + opts.clock_net_delay_ps, model_.clock_net(), false);
   }
-  if (opts_.precharge_inputs) {
-    for (PortId pid : nl_.port_ids()) {
-      const Port& p = nl_.port(pid);
-      if (p.dir != PinDir::kInput) continue;
-      if (clock_port_.valid() && pid == clock_port_) continue;
-      schedule(now_ps_ + opts_.input_delay_ps, p.net, false);
+  if (opts.precharge_inputs) {
+    for (const CompiledSimModel::DataInput& di : model_.data_inputs()) {
+      schedule(now_ps_ + opts.input_delay_ps, di.net, false);
     }
   }
   drain_until(start + period, &trace, start);
@@ -232,21 +217,33 @@ CycleTrace PowerSimulator::run_cycle(double period_ps) {
 }
 
 bool PowerSimulator::net_value(const std::string& net) const {
-  const NetId id = nl_.find_net(net);
+  const NetId id = model_.netlist().find_net(net);
   SECFLOW_CHECK(id.valid(), "unknown net: " + net);
   return net_val_[id.index()] != 0;
 }
 
+bool PowerSimulator::net_value(NetId net) const {
+  return net_val_[net.index()] != 0;
+}
+
 bool PowerSimulator::output(const std::string& port) const {
-  const PortId pid = nl_.find_port(port);
+  const PortId pid = model_.netlist().find_port(port);
   SECFLOW_CHECK(pid.valid(), "unknown port: " + port);
-  return net_val_[nl_.port(pid).net.index()] != 0;
+  return output(pid);
+}
+
+bool PowerSimulator::output(PortId port) const {
+  return net_val_[model_.netlist().port(port).net.index()] != 0;
 }
 
 bool PowerSimulator::output_at_eval(const std::string& port) const {
-  const PortId pid = nl_.find_port(port);
+  const PortId pid = model_.netlist().find_port(port);
   SECFLOW_CHECK(pid.valid(), "unknown port: " + port);
-  return mid_val_[nl_.port(pid).net.index()] != 0;
+  return output_at_eval(pid);
+}
+
+bool PowerSimulator::output_at_eval(PortId port) const {
+  return mid_val_[model_.netlist().port(port).net.index()] != 0;
 }
 
 bool PowerSimulator::flop_state(InstId flop) const {
@@ -254,43 +251,36 @@ bool PowerSimulator::flop_state(InstId flop) const {
 }
 
 void PowerSimulator::set_flop_state(InstId flop, bool value) {
-  SECFLOW_CHECK(nl_.cell_of(flop).kind == CellKind::kFlop, "not a flop");
+  const Netlist& nl = model_.netlist();
+  SECFLOW_CHECK(nl.cell_of(flop).kind == CellKind::kFlop, "not a flop");
   flop_state_[flop.index()] = value ? 1 : 0;
   // Drive its Q immediately (initialization convenience).
-  const Instance& in = nl_.instance(flop);
-  const CellType& type = nl_.cell_of(flop);
+  const Instance& in = nl.instance(flop);
+  const CellType& type = nl.cell_of(flop);
   const NetId q = in.conns[static_cast<std::size_t>(type.output_pin())];
   if (q.valid()) schedule(now_ps_, q, value);
 }
 
 void PowerSimulator::settle() {
-  for (PortId pid : nl_.port_ids()) {
-    const Port& p = nl_.port(pid);
-    if (p.dir != PinDir::kInput) continue;
-    if (clock_port_.valid() && pid == clock_port_) continue;
-    schedule(now_ps_, p.net, input_val_[pid.index()] != 0);
+  for (const CompiledSimModel::DataInput& di : model_.data_inputs()) {
+    schedule(now_ps_, di.net, input_val_[di.port.index()] != 0);
   }
   // Event-driven simulation only re-evaluates gates whose inputs change;
   // seed every combinational output once so gates whose inputs happen to
   // match the all-zero reset state still assume consistent values.
-  for (InstId iid : nl_.instance_ids()) {
-    const CellType& type = nl_.cell_of(iid);
-    if (type.kind != CellKind::kCombinational) continue;
-    const Instance& in = nl_.instance(iid);
-    const NetId out = in.conns[static_cast<std::size_t>(type.output_pin())];
-    if (!out.valid()) continue;
+  for (const CompiledSimModel::Gate& g : model_.gates()) {
+    const std::int32_t* inputs = model_.gate_input_nets(g);
     std::uint64_t bits = 0;
-    int k = 0;
-    for (int pin : type.input_pins()) {
-      const NetId net = in.conns[static_cast<std::size_t>(pin)];
-      if (net.valid() && net_val_[net.index()]) bits |= std::uint64_t{1} << k;
-      ++k;
+    for (std::int32_t k = 0; k < g.n_inputs; ++k) {
+      const std::int32_t net = inputs[k];
+      if (net >= 0 && net_val_[static_cast<std::size_t>(net)]) {
+        bits |= std::uint64_t{1} << k;
+      }
     }
-    schedule(now_ps_, out, type.function.eval(bits));
+    schedule(now_ps_, NetId(g.out_net), g.fn.eval(bits));
   }
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    const Event ev = pop_event();
     now_ps_ = std::max(now_ps_, ev.time_ps);
     apply_event(ev, nullptr, now_ps_);
   }

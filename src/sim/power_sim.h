@@ -13,34 +13,24 @@
 //   t=T/2  falling clock edge: negedge flops (WDDL masters) capture,
 //          clock net -> 0; with precharge_inputs, all data inputs -> 0
 //          (the WDDL precharge wave); events propagate to t=T.
+//
+// Compile-once / simulate-many: everything derived from (netlist, caps,
+// options) lives in an immutable CompiledSimModel (sim/sim_model.h); a
+// PowerSimulator borrows the model and holds only mutable trace state, so
+// bulk campaigns build the model once and reuse one simulator per worker
+// via reset().  The two-argument convenience constructor builds and owns
+// a private model for tests and examples.
 #pragma once
 
-#include <queue>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "base/units.h"
 #include "netlist/netlist.h"
+#include "sim/sim_model.h"
 
 namespace secflow {
-
-using CapTable = std::unordered_map<std::string, double>;  // net -> fF
-
-struct PowerSimOptions {
-  SamplingSpec sampling;
-  Process018 process;
-  /// Data input arrival time after the active edge [ps].
-  double input_delay_ps = 100.0;
-  /// Minimum current-pulse time constant [ps].
-  double min_tau_ps = 30.0;
-  /// Drive all data input ports to 0 at the falling edge (WDDL mode).
-  bool precharge_inputs = false;
-  /// Delay from the ideal clock edge to the clock *net* transition seen by
-  /// gates (clock-tree insertion delay).  Must exceed the flop clk->q
-  /// delay so WDDL output AND gates open on the new slave value.
-  double clock_net_delay_ps = 250.0;
-};
 
 struct CycleTrace {
   std::vector<double> current_ma;  ///< samples_per_cycle supply samples
@@ -52,11 +42,23 @@ struct CycleTrace {
 
 class PowerSimulator {
  public:
-  PowerSimulator(const Netlist& nl, CapTable caps,
+  /// Borrow a shared compiled model (the bulk-simulation path).  The model
+  /// must outlive the simulator.
+  explicit PowerSimulator(const CompiledSimModel& model);
+
+  /// Convenience: compile a private model from (netlist, caps, options).
+  /// `caps` is only read during construction (no copy is kept).
+  PowerSimulator(const Netlist& nl, const CapTable& caps,
                  const PowerSimOptions& opts = {});
+
+  /// Return to the power-up state: all nets/flops/inputs 0, empty event
+  /// queue, t = 0.  A reset simulator is bit-identical to a freshly
+  /// constructed one, but keeps its buffers (no allocation churn).
+  void reset();
 
   /// Set a data input port's value for the next cycle's evaluate phase.
   void set_input(const std::string& port, bool value);
+  void set_input(PortId port, bool value);
 
   /// Simulate one full clock cycle; `period_ps` overrides the nominal
   /// period (used by the DFA glitch experiment).  Returns the supply
@@ -65,11 +67,14 @@ class PowerSimulator {
 
   /// Settled value of a net / output port after the last cycle.
   bool net_value(const std::string& net) const;
+  bool net_value(NetId net) const;
   bool output(const std::string& port) const;
+  bool output(PortId port) const;
   /// Output port value snapshotted at the end of the evaluate phase (T/2)
   /// of the last cycle — the observable of a WDDL design, whose rails are
   /// precharged to 0 by the end of the full cycle.
   bool output_at_eval(const std::string& port) const;
+  bool output_at_eval(PortId port) const;
   bool flop_state(InstId flop) const;
   void set_flop_state(InstId flop, bool value);
 
@@ -77,7 +82,8 @@ class PowerSimulator {
   /// initialization).
   void settle();
 
-  const Netlist& netlist() const { return nl_; }
+  const Netlist& netlist() const { return model_.netlist(); }
+  const CompiledSimModel& model() const { return model_; }
 
  private:
   struct Event {
@@ -90,29 +96,25 @@ class PowerSimulator {
     }
   };
 
-  double net_cap(NetId id) const;
-  double gate_delay(InstId driver, NetId out) const;
   void schedule(double t, NetId net, bool value);
   void apply_event(const Event& ev, CycleTrace* trace, double t_offset);
-  void deposit_charge(CycleTrace& trace, double t_ps, double charge_fc,
-                      double tau_ps) const;
+  void deposit_charge(CycleTrace& trace, double t_ps,
+                      std::size_t net_idx) const;
   void capture_flops(bool rising);
   void drain_until(double t_end, CycleTrace* trace, double t_offset = 0.0);
-  void find_clock();
+  void push_event(Event ev);
+  Event pop_event();
 
-  const Netlist& nl_;
-  CapTable caps_;
-  PowerSimOptions opts_;
+  std::unique_ptr<const CompiledSimModel> owned_;  // convenience ctor only
+  const CompiledSimModel& model_;
   std::vector<char> net_val_;
   std::vector<char> mid_val_;     // snapshot at T/2 of the last cycle
   std::vector<char> net_next_;    // last scheduled value per net
   std::vector<int> pending_;      // in-flight events per net
   std::vector<char> flop_state_;
   std::vector<char> input_val_;   // per port
-  std::vector<double> cap_of_;    // resolved per net
-  PortId clock_port_;
-  NetId clock_net_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Event> heap_;       // binary min-heap on (time, seq)
+  std::vector<char> capture_scratch_;  // per-flop captured values
   long seq_ = 0;
   double now_ps_ = 0.0;
 };

@@ -6,8 +6,7 @@
 
 namespace secflow {
 
-std::vector<SimTrace> simulate_traces(const Netlist& nl, const CapTable& caps,
-                                      const PowerSimOptions& opts,
+std::vector<SimTrace> simulate_traces(const CompiledSimModel& model,
                                       int n_traces, std::uint64_t master_seed,
                                       const TraceTask& task,
                                       const Parallelism& par) {
@@ -22,8 +21,11 @@ std::vector<SimTrace> simulate_traces(const Netlist& nl, const CapTable& caps,
         Span span("sim.trace_chunk", "sim");
         span.arg("begin", static_cast<std::uint64_t>(begin));
         span.arg("end", static_cast<std::uint64_t>(end));
+        // One simulator per chunk; reset() restores the power-up state
+        // between traces, so trace i is independent of chunk boundaries.
+        PowerSimulator sim(model);
         for (std::size_t i = begin; i < end; ++i) {
-          PowerSimulator sim(nl, caps, opts);
+          if (i != begin) sim.reset();
           Rng rng = Rng::stream(master_seed, static_cast<std::uint64_t>(i));
           out[i] = task(sim, rng, static_cast<int>(i));
         }
@@ -31,6 +33,15 @@ std::vector<SimTrace> simulate_traces(const Netlist& nl, const CapTable& caps,
                               static_cast<std::uint64_t>(end - begin));
       });
   return out;
+}
+
+std::vector<SimTrace> simulate_traces(const Netlist& nl, const CapTable& caps,
+                                      const PowerSimOptions& opts,
+                                      int n_traces, std::uint64_t master_seed,
+                                      const TraceTask& task,
+                                      const Parallelism& par) {
+  const CompiledSimModel model(nl, caps, opts);
+  return simulate_traces(model, n_traces, master_seed, task, par);
 }
 
 }  // namespace secflow

@@ -1,11 +1,13 @@
 // Bulk trace synthesis: simulate N independent stimuli of one netlist,
 // one task per trace, in parallel.
 //
-// Each task owns a private PowerSimulator (fresh flop/net state) and a
-// private RNG stream split from the master seed (Rng::stream(seed, i)),
-// so trace i is bit-identical no matter the thread count — the
-// determinism contract the DPA campaigns and the regression tests rely
-// on.  The shared Netlist is read-only during simulation.
+// The immutable CompiledSimModel is shared read-only by every worker; each
+// worker owns ONE PowerSimulator for its whole claimed chunk and reset()s
+// it between traces (fresh flop/net state without rebuilding or
+// reallocating).  Each task gets a private RNG stream split from the
+// master seed (Rng::stream(seed, i)), so trace i is bit-identical no
+// matter the thread count — the determinism contract the DPA campaigns
+// and the regression tests rely on.
 #pragma once
 
 #include <cstdint>
@@ -30,8 +32,17 @@ struct SimTrace {
 using TraceTask = std::function<SimTrace(PowerSimulator& sim, Rng& rng,
                                          int index)>;
 
-/// Simulate `n_traces` independent tasks over `nl`.  Results are indexed
-/// by task, identical for every thread count (including 1 == serial).
+/// Simulate `n_traces` independent tasks against a prebuilt model.
+/// Results are indexed by task, identical for every thread count
+/// (including 1 == serial).
+std::vector<SimTrace> simulate_traces(const CompiledSimModel& model,
+                                      int n_traces, std::uint64_t master_seed,
+                                      const TraceTask& task,
+                                      const Parallelism& par = {});
+
+/// Convenience: compile the model once from (netlist, caps, options), then
+/// simulate.  Prefer the model overload when running several campaigns on
+/// the same design.
 std::vector<SimTrace> simulate_traces(const Netlist& nl, const CapTable& caps,
                                       const PowerSimOptions& opts,
                                       int n_traces, std::uint64_t master_seed,
