@@ -35,10 +35,13 @@ double wall_ms(const std::function<void()>& fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report("bench_fig6_dpa", argc, argv);
   bench::DesDesigns d = bench::build_des_designs();
   DesDpaSetup setup;
   setup.n_measurements = 2000;
+  report.note("design", "des");
+  report.metric("measurements", setup.n_measurements);
 
   // Campaign parallelism: serial baseline vs the full thread budget
   // (SECFLOW_THREADS or hardware).  The per-trace RNG streams make the
@@ -63,6 +66,10 @@ int main() {
   bench::row("regular campaign, %d traces: %.0f ms @ 1 thread, "
              "%.0f ms @ %d threads (%.2fx)",
              setup.n_measurements, ser_ms, par_ms, n_par, ser_ms / par_ms);
+  report.metric("campaign.serial_ms", ser_ms);
+  report.metric("campaign.parallel_ms", par_ms);
+  report.metric("campaign.threads", n_par);
+  report.metric("campaign.speedup", ser_ms / par_ms);
   {
     const DpaResult a = ref.analyze(setup.key);
     const DpaResult b = ref_par.analyze(setup.key);
@@ -93,6 +100,8 @@ int main() {
   const std::string mtd_sec_str =
       mtd_sec < 0 ? "> 2000" : std::to_string(mtd_sec);
   bench::row("MTD secure:  %s   [paper: > 2000]", mtd_sec_str.c_str());
+  report.metric("mtd.regular", mtd_ref);
+  report.metric("mtd.secure", mtd_sec);
 
   bench::header("Fig 6 (bottom)",
                 "peak-to-peak of differential traces @ 2000 measurements");
@@ -123,5 +132,11 @@ int main() {
   bench::blank();
   bench::row("shape check: regular discloses, secure conforms to the band: %s",
              (rk > 1.3 * rmax && sk < 1.3 * smax) ? "pass" : "FAIL");
+  report.metric("pp.regular.correct_key", rk);
+  report.metric("pp.regular.best_wrong", rmax);
+  report.metric("pp.regular.ratio", rk / rmax);
+  report.metric("pp.secure.correct_key", sk);
+  report.metric("pp.secure.best_wrong", smax);
+  report.metric("pp.secure.ratio", sk / smax);
   return 0;
 }

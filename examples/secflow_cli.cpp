@@ -19,6 +19,15 @@
 //                    [--no-minimize] [--replay FILE]
 //       drive random sequential designs through the oracle catalogue;
 //       failures are minimized into replayable fuzz-corpus reproducers
+//   secflow_cli leakage [design.v] [--des] [--flow regular|secure]
+//                       [--traces N] [--tvla-traces N] [--model hw|hd]
+//                       [--mtd-max N] [--mtd-step N] [--ge K] [--seed N]
+//                       [--noise X] [--out FILE] [--cache DIR]
+//                       [--threads N] [--log LEVEL]
+//       run the flow, then the statistical leakage assessment on the
+//       extracted design: the built-in DES example (--des) gets the full
+//       battery (TVLA + CPA + guessing entropy + MTD), arbitrary designs
+//       the model-free TVLA; writes a secflow.leakage-report/1 document
 //
 // Every subcommand accepts --help.  Options take either `--key value`
 // or `--key=value`.
@@ -48,6 +57,8 @@ int usage() {
                "JSON report\n"
                "  fuzz                  fuzz both flows with the oracle "
                "catalogue\n"
+               "  leakage [design.v]    statistical leakage assessment "
+               "(TVLA/CPA/MTD)\n"
                "\n"
                "run 'secflow_cli <command> --help' for per-command "
                "options\n");
@@ -278,6 +289,140 @@ int cmd_fuzz(int argc, char** argv) {
   return run.all_ok() ? 0 : 1;
 }
 
+int cmd_leakage(int argc, char** argv) {
+  ArgParser args("secflow_cli leakage",
+                 "Run a flow, then the statistical leakage assessment on "
+                 "the extracted\ndesign.  The built-in DES example (--des) "
+                 "gets the full battery — TVLA,\nCPA key recovery, "
+                 "guessing-entropy curves and MTD estimation; an\n"
+                 "arbitrary design gets the model-free fixed-vs-random "
+                 "TVLA.");
+  args.positional("design.v", "mini-HDL input file (omit with --des)",
+                  /*required=*/false);
+  args.flag("des", "assess the paper's built-in reduced-DES example");
+  args.option("flow", "KIND", "regular|secure (default: secure)");
+  args.option("traces", "N", "CPA trace budget (default 800)");
+  args.option("tvla-traces", "N", "TVLA trace budget (default 600)");
+  args.option("model", "M", "CPA power model: hw|hd (default hd)");
+  args.option("mtd-max", "N", "MTD trace budget (default 2000)");
+  args.option("mtd-step", "N", "MTD feed/check granularity (default 100)");
+  args.option("ge", "K",
+              "guessing-entropy sub-campaigns (default 0 = off)");
+  args.option("seed", "N", "campaign seed (default 2025)");
+  args.option("noise", "X", "Gaussian noise per sample in mA (default 0.05)");
+  args.option("out", "FILE",
+              "write the secflow.leakage-report/1 JSON here");
+  args.option("cache", "DIR",
+              "checkpoint directory for flow stages and trace blocks");
+  args.option("threads", "N", "worker threads (0 = auto)");
+  args.option("log", "LEVEL", "log level: debug|info|warn|error|off");
+  if (!args.parse(argc, argv)) return 0;
+
+  const bool builtin_des = args.has("des");
+  SECFLOW_CHECK(builtin_des || !args.pos("design.v").empty(),
+                "pass a design.v or --des");
+  const std::string flow_kind = args.get("flow", "secure");
+  SECFLOW_CHECK(flow_kind == "regular" || flow_kind == "secure",
+                "--flow must be regular or secure, got '" + flow_kind + "'");
+  const bool secure = flow_kind == "secure";
+
+  LeakageSetup setup;
+  if (args.has("seed")) setup.seed = std::stoull(args.get("seed"));
+  if (args.has("traces")) setup.cpa_traces = std::stoi(args.get("traces"));
+  if (args.has("tvla-traces"))
+    setup.tvla_traces = std::stoi(args.get("tvla-traces"));
+  if (args.has("noise")) setup.noise_ma = std::stod(args.get("noise"));
+  if (args.has("model")) {
+    const auto model = parse_power_model(args.get("model"));
+    SECFLOW_CHECK(model.has_value(),
+                  "--model must be hw or hd, got '" + args.get("model") + "'");
+    setup.model = *model;
+  }
+  if (args.has("mtd-max")) setup.mtd.max_traces = std::stoi(args.get("mtd-max"));
+  if (args.has("mtd-step")) setup.mtd.step = std::stoi(args.get("mtd-step"));
+  if (args.has("ge")) setup.ge_campaigns = std::stoi(args.get("ge"));
+  if (args.has("threads"))
+    setup.parallelism.n_threads = std::stoi(args.get("threads"));
+  setup.cache_dir = args.get("cache");
+
+  FlowOptions opts;
+  opts.parallelism = setup.parallelism;
+  opts.cache_dir = setup.cache_dir;
+  if (args.has("log")) opts.log_level = parse_log_or_throw(args.get("log"));
+  Metrics::global().set_enabled(true);
+
+  const AigCircuit circuit = builtin_des
+                                 ? make_des_dpa_circuit()
+                                 : parse_hdl_file(args.pos("design.v"));
+  const auto lib = builtin_stdcell018();
+
+  LeakageReport report;
+  if (secure) {
+    const SecureFlowResult r = run_secure_flow(circuit, lib, opts);
+    setup.base_key = r.timings.key(FlowStage::kExtraction);
+    setup.design = circuit.name;
+    const CompiledSimModel model = compile_power_model(r);
+    report = builtin_des
+                 ? assess_des_leakage(model, /*differential=*/true, setup)
+                 : assess_tvla_leakage(model, /*differential=*/true, setup);
+  } else {
+    const RegularFlowResult r = run_regular_flow(circuit, lib, opts);
+    setup.base_key = r.timings.key(FlowStage::kExtraction);
+    setup.design = circuit.name;
+    const CompiledSimModel model = compile_power_model(r);
+    report = builtin_des
+                 ? assess_des_leakage(model, /*differential=*/false, setup)
+                 : assess_tvla_leakage(model, /*differential=*/false, setup);
+  }
+
+  if (report.tvla.present) {
+    std::printf("TVLA  max |t| %.2f over %lld samples (threshold %.1f): %s\n",
+                report.tvla.max_abs_t,
+                static_cast<long long>(report.tvla.n_samples),
+                report.tvla.threshold,
+                report.tvla.leaks ? "LEAKS" : "no leak detected");
+  }
+  if (report.cpa.present) {
+    std::printf("CPA   best guess %lld (correct %lld, rank %lld) at %lld "
+                "traces: %s\n",
+                static_cast<long long>(report.cpa.best_guess),
+                static_cast<long long>(report.cpa.correct_key),
+                static_cast<long long>(report.cpa.correct_rank),
+                static_cast<long long>(report.cpa.n_traces),
+                report.cpa.disclosed ? "key DISCLOSED" : "key hidden");
+  }
+  if (report.mtd.present) {
+    if (report.mtd.mtd >= 0) {
+      std::printf("MTD   %lld traces to disclosure\n",
+                  static_cast<long long>(report.mtd.mtd));
+    } else {
+      std::printf("MTD   key hidden at %lld traces\n",
+                  static_cast<long long>(report.mtd.max_traces));
+    }
+  }
+  if (report.ge.present) {
+    for (std::size_t i = 0; i < report.ge.trace_grid.size(); ++i) {
+      std::printf("GE    %5lld traces: mean rank %.2f, success rate %.2f\n",
+                  static_cast<long long>(report.ge.trace_grid[i]),
+                  report.ge.guessing_entropy[i], report.ge.success_rate[i]);
+    }
+  }
+  std::printf("trace cache: %lld hits, %lld misses\n",
+              static_cast<long long>(report.trace_cache_hits),
+              static_cast<long long>(report.trace_cache_misses));
+
+  const std::string json = leakage_report_json(report);
+  validate_leakage_report(json_parse(json));
+  const std::string out_path = args.get("out");
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    f << json;
+    SECFLOW_CHECK(f.good(), "cannot write report to " + out_path);
+    std::printf("leakage report written to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -289,6 +434,7 @@ int main(int argc, char** argv) {
     if (cmd == "wddl-lib") return cmd_wddl_lib(argc - 2, argv + 2);
     if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
     if (cmd == "fuzz") return cmd_fuzz(argc - 2, argv + 2);
+    if (cmd == "leakage") return cmd_leakage(argc - 2, argv + 2);
   } catch (const secflow::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,176 @@
+#include "leakage/accumulators.h"
+
+#include <cmath>
+
+#include "base/error.h"
+
+namespace secflow {
+
+void Moment::add(double x) {
+  ++n;
+  const double d = x - mean;
+  mean += d / static_cast<double>(n);
+  m2 += d * (x - mean);
+}
+
+void Moment::merge(const Moment& o) {
+  if (o.n == 0) return;
+  if (n == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n), nb = static_cast<double>(o.n);
+  const double nt = na + nb;
+  const double delta = o.mean - mean;
+  mean += delta * (nb / nt);
+  m2 += o.m2 + delta * delta * (na * nb / nt);
+  n += o.n;
+}
+
+double Moment::variance() const {
+  return n < 2 ? 0.0 : m2 / static_cast<double>(n - 1);
+}
+
+WelchAccumulator::WelchAccumulator(std::size_t n_samples)
+    : fixed_(n_samples), random_(n_samples) {
+  SECFLOW_CHECK(n_samples > 0, "Welch accumulator needs at least 1 sample");
+}
+
+std::uint64_t WelchAccumulator::n(bool fixed_group) const {
+  return (fixed_group ? fixed_ : random_).front().n;
+}
+
+void WelchAccumulator::add(bool fixed_group, const double* samples) {
+  std::vector<Moment>& group = fixed_group ? fixed_ : random_;
+  for (std::size_t s = 0; s < group.size(); ++s) group[s].add(samples[s]);
+}
+
+void WelchAccumulator::merge(const WelchAccumulator& o) {
+  SECFLOW_CHECK(n_samples() == o.n_samples(),
+                "Welch merge: sample-count mismatch");
+  for (std::size_t s = 0; s < fixed_.size(); ++s) {
+    fixed_[s].merge(o.fixed_[s]);
+    random_[s].merge(o.random_[s]);
+  }
+}
+
+std::vector<double> WelchAccumulator::t_statistic() const {
+  std::vector<double> t(n_samples(), 0.0);
+  for (std::size_t s = 0; s < t.size(); ++s) {
+    const Moment& f = fixed_[s];
+    const Moment& r = random_[s];
+    if (f.n < 2 || r.n < 2) continue;
+    const double denom2 = f.variance() / static_cast<double>(f.n) +
+                          r.variance() / static_cast<double>(r.n);
+    if (denom2 <= 0.0) continue;
+    t[s] = (f.mean - r.mean) / std::sqrt(denom2);
+  }
+  return t;
+}
+
+CpaAccumulator::CpaAccumulator(int n_guesses, int n_samples)
+    : mean_t_(static_cast<std::size_t>(n_samples), 0.0),
+      m2_t_(static_cast<std::size_t>(n_samples), 0.0),
+      mean_h_(static_cast<std::size_t>(n_guesses), 0.0),
+      m2_h_(static_cast<std::size_t>(n_guesses), 0.0),
+      c_(static_cast<std::size_t>(n_guesses) *
+             static_cast<std::size_t>(n_samples),
+         0.0),
+      dt_old_(static_cast<std::size_t>(n_samples), 0.0) {
+  SECFLOW_CHECK(n_guesses > 1, "CPA needs at least 2 key guesses");
+  SECFLOW_CHECK(n_samples > 0, "CPA needs at least 1 sample");
+}
+
+void CpaAccumulator::add(const double* samples, const double* hypotheses) {
+  ++n_;
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  const std::size_t S = mean_t_.size();
+  const std::size_t G = mean_h_.size();
+  // Trace moments; keep the pre-update deviations for the co-moment rows.
+  for (std::size_t s = 0; s < S; ++s) {
+    const double x = samples[s];
+    const double d = x - mean_t_[s];
+    dt_old_[s] = d;
+    mean_t_[s] += d * inv_n;
+    m2_t_[s] += d * (x - mean_t_[s]);
+  }
+  // Hypothesis moments and the co-moment matrix.  The pairwise-exact
+  // cross update is C += (h - mean_h_new) * (t - mean_t_old).
+  for (std::size_t g = 0; g < G; ++g) {
+    const double h = hypotheses[g];
+    const double dh = h - mean_h_[g];
+    mean_h_[g] += dh * inv_n;
+    m2_h_[g] += dh * (h - mean_h_[g]);
+    const double dh_new = h - mean_h_[g];
+    double* row = c_.data() + g * S;
+    for (std::size_t s = 0; s < S; ++s) row[s] += dh_new * dt_old_[s];
+  }
+}
+
+void CpaAccumulator::merge(const CpaAccumulator& o) {
+  SECFLOW_CHECK(n_guesses() == o.n_guesses() && n_samples() == o.n_samples(),
+                "CPA merge: shape mismatch");
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    n_ = o.n_;
+    mean_t_ = o.mean_t_;
+    m2_t_ = o.m2_t_;
+    mean_h_ = o.mean_h_;
+    m2_h_ = o.m2_h_;
+    c_ = o.c_;
+    return;
+  }
+  const double na = static_cast<double>(n_), nb = static_cast<double>(o.n_);
+  const double nt = na + nb;
+  const double w = na * nb / nt;
+  const std::size_t S = mean_t_.size();
+  const std::size_t G = mean_h_.size();
+  // Co-moments first: they need the pre-merge means of both sides.
+  for (std::size_t g = 0; g < G; ++g) {
+    const double dh = o.mean_h_[g] - mean_h_[g];
+    double* row = c_.data() + g * S;
+    const double* orow = o.c_.data() + g * S;
+    for (std::size_t s = 0; s < S; ++s) {
+      row[s] += orow[s] + dh * (o.mean_t_[s] - mean_t_[s]) * w;
+    }
+  }
+  for (std::size_t s = 0; s < S; ++s) {
+    const double d = o.mean_t_[s] - mean_t_[s];
+    mean_t_[s] += d * (nb / nt);
+    m2_t_[s] += o.m2_t_[s] + d * d * w;
+  }
+  for (std::size_t g = 0; g < G; ++g) {
+    const double d = o.mean_h_[g] - mean_h_[g];
+    mean_h_[g] += d * (nb / nt);
+    m2_h_[g] += o.m2_h_[g] + d * d * w;
+  }
+  n_ += o.n_;
+}
+
+double CpaAccumulator::correlation(int guess, int sample) const {
+  SECFLOW_CHECK(guess >= 0 && guess < n_guesses(), "CPA guess out of range");
+  SECFLOW_CHECK(sample >= 0 && sample < n_samples(),
+                "CPA sample out of range");
+  if (n_ < 2) return 0.0;
+  const double mh = m2_h_[static_cast<std::size_t>(guess)];
+  const double mt = m2_t_[static_cast<std::size_t>(sample)];
+  if (mh <= 0.0 || mt <= 0.0) return 0.0;
+  const double c = c_[static_cast<std::size_t>(guess) * mean_t_.size() +
+                      static_cast<std::size_t>(sample)];
+  return c / std::sqrt(mh * mt);
+}
+
+std::vector<double> CpaAccumulator::scores() const {
+  std::vector<double> out(mean_h_.size(), 0.0);
+  for (int g = 0; g < n_guesses(); ++g) {
+    double best = 0.0;
+    for (int s = 0; s < n_samples(); ++s) {
+      const double r = std::fabs(correlation(g, s));
+      if (r > best) best = r;
+    }
+    out[static_cast<std::size_t>(g)] = best;
+  }
+  return out;
+}
+
+}  // namespace secflow

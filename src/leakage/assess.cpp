@@ -1,0 +1,552 @@
+#include "leakage/assess.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "base/error.h"
+#include "base/rng.h"
+#include "ckpt/hash.h"
+#include "ckpt/store.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sca/dpa_experiment.h"
+#include "sim/trace_sim.h"
+
+namespace secflow {
+namespace {
+
+constexpr const char* kTraceKind = "leakage-traces";
+// Fixed-class plaintext of the DES TVLA campaign (any constant works; the
+// test is fixed-VS-random, not about the value itself).
+constexpr std::uint32_t kFixedPl = 0x5;
+constexpr std::uint32_t kFixedPr = 0x2A;
+// TVLA draws from a disjoint stream range so its traces never alias the
+// CPA/MTD traces (which use stream_base 0).
+constexpr std::uint64_t kTvlaStreamBase = 1ull << 40;
+// Stream id of the generic campaign's fixed-class lane pattern.
+constexpr std::uint64_t kFixedPatternStream = 0x5EC0FA57ull;
+
+/// Trace checkpointing: blocks of simulated measurements stored under a
+/// content-address chained from the upstream flow key.
+struct TraceCache {
+  std::unique_ptr<ArtifactStore> store;  ///< null = caching disabled
+  std::uint64_t base = 0;
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+};
+
+TraceCache make_cache(const LeakageSetup& s) {
+  TraceCache c;
+  if (!s.cache_dir.empty()) {
+    c.store = std::make_unique<ArtifactStore>(s.cache_dir);
+  }
+  c.base = s.base_key;
+  return c;
+}
+
+std::uint64_t block_key(const TraceCache& cache, const char* purpose,
+                        const LeakageSetup& s, bool differential,
+                        std::uint64_t stream_base, int begin, int end) {
+  Hasher h;
+  h.add(cache.base).add(purpose).add(s.seed).add(stream_base);
+  h.add(begin).add(end);
+  h.add(s.noise_ma).add(differential);
+  h.add(static_cast<std::int64_t>(s.key)).add(s.sbox);
+  return h.digest();
+}
+
+Artifact make_block_artifact(std::uint64_t key,
+                             const std::vector<CpaMeasurement>& block) {
+  const std::size_t n = block.size();
+  const std::size_t s = block.front().samples.size();
+  Artifact a(kTraceKind, key);
+  a.add("meta", std::to_string(n) + " " + std::to_string(s) + "\n");
+  std::string samples(n * s * sizeof(double), '\0');
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(samples.data() + i * s * sizeof(double),
+                block[i].samples.data(), s * sizeof(double));
+  }
+  a.add("samples", std::move(samples));
+  std::string obs(n * 2 * sizeof(std::uint32_t), '\0');
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(obs.data() + (2 * i) * sizeof(std::uint32_t), &block[i].ct,
+                sizeof(std::uint32_t));
+    std::memcpy(obs.data() + (2 * i + 1) * sizeof(std::uint32_t),
+                &block[i].prev_ct, sizeof(std::uint32_t));
+  }
+  a.add("obs", std::move(obs));
+  return a;
+}
+
+/// Lenient decode: any shape mismatch reads as a miss (the store already
+/// rejected corruption via its checksum), so a stale entry degrades to
+/// re-simulation, never to wrong traces.
+bool unpack_block(const Artifact& a, int expect_n,
+                  std::vector<CpaMeasurement>* out) {
+  const std::string* meta = a.find_section("meta");
+  const std::string* samples = a.find_section("samples");
+  const std::string* obs = a.find_section("obs");
+  if (meta == nullptr || samples == nullptr || obs == nullptr) return false;
+  std::istringstream ms(*meta);
+  std::size_t n = 0, s = 0;
+  if (!(ms >> n >> s) || s == 0) return false;
+  if (n != static_cast<std::size_t>(expect_n)) return false;
+  if (samples->size() != n * s * sizeof(double)) return false;
+  if (obs->size() != n * 2 * sizeof(std::uint32_t)) return false;
+  out->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    CpaMeasurement& m = (*out)[i];
+    m.samples.resize(s);
+    std::memcpy(m.samples.data(), samples->data() + i * s * sizeof(double),
+                s * sizeof(double));
+    std::memcpy(&m.ct, obs->data() + (2 * i) * sizeof(std::uint32_t),
+                sizeof(std::uint32_t));
+    std::memcpy(&m.prev_ct, obs->data() + (2 * i + 1) * sizeof(std::uint32_t),
+                sizeof(std::uint32_t));
+  }
+  return true;
+}
+
+/// Like TraceTask but indexed by the absolute trace index, with the RNG
+/// already re-keyed to Rng::stream(seed, stream_base + abs_index) — so a
+/// block's traces are identical no matter which batch boundaries fetched
+/// them.
+using AbsTraceTask =
+    std::function<SimTrace(PowerSimulator& sim, Rng& rng, int abs_index)>;
+
+std::vector<CpaMeasurement> fetch_block(
+    const CompiledSimModel& model, TraceCache& cache, const char* purpose,
+    const LeakageSetup& s, bool differential, std::uint64_t stream_base,
+    int begin, int end, const AbsTraceTask& task) {
+  SECFLOW_CHECK(end > begin, "leakage: empty trace block");
+  const std::uint64_t key =
+      block_key(cache, purpose, s, differential, stream_base, begin, end);
+  if (cache.store) {
+    if (std::optional<Artifact> a = cache.store->load(kTraceKind, key)) {
+      std::vector<CpaMeasurement> out;
+      if (unpack_block(*a, end - begin, &out)) {
+        ++cache.hits;
+        Metrics::global().add("leakage.trace_cache.hit");
+        return out;
+      }
+    }
+  }
+  std::vector<SimTrace> sims = simulate_traces(
+      model, end - begin, s.seed,
+      [&](PowerSimulator& sim, Rng&, int i) {
+        Rng rng = Rng::stream(
+            s.seed, stream_base + static_cast<std::uint64_t>(begin + i));
+        return task(sim, rng, begin + i);
+      },
+      s.parallelism);
+  std::vector<CpaMeasurement> out(sims.size());
+  for (std::size_t i = 0; i < sims.size(); ++i) {
+    out[i].samples = std::move(sims[i].cycle.current_ma);
+    out[i].ct = sims[i].observable & 0x3FF;
+    out[i].prev_ct = (sims[i].observable >> 10) & 0x3FF;
+  }
+  ++cache.misses;
+  Metrics::global().add("leakage.trace_cache.miss");
+  Metrics::global().add("leakage.traces_simulated",
+                        static_cast<std::uint64_t>(out.size()));
+  if (cache.store) cache.store->save(make_block_artifact(key, out));
+  return out;
+}
+
+/// Fetch [0, n) in fixed `step`-wide blocks (the MTD feed granularity, so
+/// CPA, GE and MTD address identical cache entries for shared ranges).
+std::vector<CpaMeasurement> fetch_range(
+    const CompiledSimModel& model, TraceCache& cache, const char* purpose,
+    const LeakageSetup& s, bool differential, std::uint64_t stream_base,
+    int begin, int end, int step, const AbsTraceTask& task) {
+  std::vector<CpaMeasurement> all;
+  all.reserve(static_cast<std::size_t>(end - begin));
+  for (int b = begin; b < end; b += step) {
+    std::vector<CpaMeasurement> block =
+        fetch_block(model, cache, purpose, s, differential, stream_base, b,
+                    std::min(b + step, end), task);
+    for (CpaMeasurement& m : block) all.push_back(std::move(m));
+  }
+  return all;
+}
+
+// --- DES campaign tasks ---------------------------------------------------
+
+/// The DPA experiment's four-cycle mini-campaign, extended to read both
+/// ciphertext observables: the previous encryption's result lands in the
+/// CL/CR output registers one cycle before the target's, so prev_ct is
+/// read after the recorded cycle and ct after the next one.  A WDDL
+/// design is observable only during the evaluate phase (output_at_eval).
+SimTrace des_cpa_trace(PowerSimulator& sim, Rng& rng, const DesPortMap& ports,
+                       const LeakageSetup& s) {
+  const auto prev_pl = static_cast<std::uint32_t>(rng.next_below(16));
+  const auto prev_pr = static_cast<std::uint32_t>(rng.next_below(64));
+  const auto pl = static_cast<std::uint32_t>(rng.next_below(16));
+  const auto pr = static_cast<std::uint32_t>(rng.next_below(64));
+  ports.drive(sim, ports.k, s.key);
+  ports.drive(sim, ports.pl, prev_pl);
+  ports.drive(sim, ports.pr, prev_pr);
+  sim.settle();
+  sim.run_cycle();
+  ports.drive(sim, ports.pl, pl);
+  ports.drive(sim, ports.pr, pr);
+  sim.run_cycle();
+  SimTrace out;
+  out.cycle = sim.run_cycle();
+  const std::uint32_t prev_ct =
+      ports.read(sim, ports.cl) | (ports.read(sim, ports.cr) << 4);
+  sim.run_cycle();
+  const std::uint32_t ct =
+      ports.read(sim, ports.cl) | (ports.read(sim, ports.cr) << 4);
+  out.observable = ct | (prev_ct << 10);
+  if (s.noise_ma > 0.0) {
+    for (double& v : out.cycle.current_ma) {
+      v += s.noise_ma * rng.next_gaussian();
+    }
+  }
+  return out;
+}
+
+/// Fixed-vs-random DES trace: previous plaintext always random, target
+/// plaintext fixed (even indices) or random (odd).  The random draws are
+/// consumed in both classes so the per-trace stream stays aligned.
+SimTrace des_tvla_trace(PowerSimulator& sim, Rng& rng,
+                        const DesPortMap& ports, const LeakageSetup& s,
+                        bool fixed) {
+  const auto prev_pl = static_cast<std::uint32_t>(rng.next_below(16));
+  const auto prev_pr = static_cast<std::uint32_t>(rng.next_below(64));
+  const auto rnd_pl = static_cast<std::uint32_t>(rng.next_below(16));
+  const auto rnd_pr = static_cast<std::uint32_t>(rng.next_below(64));
+  const std::uint32_t pl = fixed ? kFixedPl : rnd_pl;
+  const std::uint32_t pr = fixed ? kFixedPr : rnd_pr;
+  ports.drive(sim, ports.k, s.key);
+  ports.drive(sim, ports.pl, prev_pl);
+  ports.drive(sim, ports.pr, prev_pr);
+  sim.settle();
+  sim.run_cycle();
+  ports.drive(sim, ports.pl, pl);
+  ports.drive(sim, ports.pr, pr);
+  sim.run_cycle();
+  SimTrace out;
+  out.cycle = sim.run_cycle();
+  if (s.noise_ma > 0.0) {
+    for (double& v : out.cycle.current_ma) {
+      v += s.noise_ma * rng.next_gaussian();
+    }
+  }
+  return out;
+}
+
+// --- generic (model-free) input lanes -------------------------------------
+
+/// One logical input bit: a single-ended port, or a *_t/*_f rail pair on
+/// differential netlists.
+std::vector<DesBitPorts> input_lanes(const Netlist& nl, bool differential) {
+  std::vector<DesBitPorts> lanes;
+  for (PortId id : nl.port_ids()) {
+    const Port& p = nl.port(id);
+    if (p.dir != PinDir::kInput) continue;
+    if (p.name == "clk") continue;
+    DesBitPorts lane{id, PortId()};
+    if (differential) {
+      if (p.name.size() > 2 &&
+          p.name.compare(p.name.size() - 2, 2, "_f") == 0) {
+        continue;  // folded into its *_t partner
+      }
+      if (p.name.size() > 2 &&
+          p.name.compare(p.name.size() - 2, 2, "_t") == 0) {
+        lane.f = nl.find_port(p.name.substr(0, p.name.size() - 2) + "_f");
+      }
+    }
+    lanes.push_back(lane);
+  }
+  SECFLOW_CHECK(!lanes.empty(), "TVLA: design has no drivable input lanes");
+  return lanes;
+}
+
+void drive_lane(PowerSimulator& sim, const DesBitPorts& lane, bool v) {
+  sim.set_input(lane.t, v);
+  if (lane.f.valid()) sim.set_input(lane.f, !v);
+}
+
+SimTrace generic_tvla_trace(PowerSimulator& sim, Rng& rng,
+                            const std::vector<DesBitPorts>& lanes,
+                            const std::vector<char>& fixed_bits,
+                            const LeakageSetup& s, bool fixed) {
+  for (const DesBitPorts& lane : lanes) drive_lane(sim, lane, rng.next_bool());
+  sim.settle();
+  sim.run_cycle();
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const bool rnd = rng.next_bool();  // consumed in both classes
+    drive_lane(sim, lanes[i], fixed ? fixed_bits[i] != 0 : rnd);
+  }
+  SimTrace out;
+  out.cycle = sim.run_cycle();
+  if (s.noise_ma > 0.0) {
+    for (double& v : out.cycle.current_ma) {
+      v += s.noise_ma * rng.next_gaussian();
+    }
+  }
+  return out;
+}
+
+// --- assessment phases ----------------------------------------------------
+
+TvlaSummary run_tvla_phase(const CompiledSimModel& model, TraceCache& cache,
+                           const LeakageSetup& s, bool differential,
+                           const AbsTraceTask& task) {
+  Span span("leakage.tvla", "leakage");
+  span.arg("traces", s.tvla_traces);
+  SECFLOW_CHECK(s.tvla_traces >= 4,
+                "TVLA needs at least 4 traces (2 per class)");
+  std::vector<CpaMeasurement> raw =
+      fetch_range(model, cache, "tvla", s, differential, kTvlaStreamBase, 0,
+                  s.tvla_traces, std::max(s.mtd.step, 1), task);
+  std::vector<TvlaTrace> traces(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    traces[i].samples = std::move(raw[i].samples);
+    traces[i].fixed = (i % 2) == 0;
+  }
+  TvlaOptions opts;
+  opts.threshold = s.tvla_threshold;
+  opts.parallelism = s.parallelism;
+  const WelchAccumulator acc = accumulate_tvla(traces, opts);
+
+  TvlaSummary out;
+  out.present = true;
+  out.n_fixed = static_cast<std::int64_t>(acc.n(true));
+  out.n_random = static_cast<std::int64_t>(acc.n(false));
+  out.n_samples = static_cast<std::int64_t>(acc.n_samples());
+  out.threshold = s.tvla_threshold;
+  out.max_abs_t = tvla_max_abs_t(acc);
+  out.leaky_samples = static_cast<std::int64_t>(
+      tvla_leaky_samples(acc, s.tvla_threshold).size());
+  out.leaks = out.max_abs_t > s.tvla_threshold;
+  Metrics::global().gauge_max("leakage.tvla.max_abs_t", out.max_abs_t);
+  SECFLOW_LOG_INFO("leakage", "TVLA done",
+                   LogField("max_abs_t", out.max_abs_t),
+                   LogField("leaks", out.leaks));
+  return out;
+}
+
+CpaOptions cpa_options(const LeakageSetup& s) {
+  CpaOptions opts;
+  opts.n_guesses = kDesKeyGuesses;
+  opts.margin = s.margin;
+  opts.parallelism = s.parallelism;
+  return opts;
+}
+
+CpaSummary run_cpa_phase(const CompiledSimModel& model, TraceCache& cache,
+                         const LeakageSetup& s, bool differential,
+                         const HypothesisFn& hyp, const AbsTraceTask& task) {
+  Span span("leakage.cpa", "leakage");
+  span.arg("traces", s.cpa_traces);
+  span.arg("model", power_model_name(s.model));
+  const std::vector<CpaMeasurement> traces =
+      fetch_range(model, cache, "cpa", s, differential, 0, 0, s.cpa_traces,
+                  std::max(s.mtd.step, 1), task);
+  const CpaAccumulator acc = accumulate_cpa(traces, hyp, cpa_options(s));
+  const CpaRanking ranking = cpa_ranking(acc);
+
+  CpaSummary out;
+  out.present = true;
+  out.model = power_model_name(s.model);
+  out.n_traces = static_cast<std::int64_t>(traces.size());
+  out.best_guess = ranking.best_guess;
+  out.best_score = ranking.best_score;
+  out.runner_up_score = ranking.runner_up_score;
+  out.correct_key = static_cast<std::int64_t>(s.key);
+  out.correct_rank = ranking.rank_of(static_cast<int>(s.key));
+  out.disclosed = ranking.disclosed(s.key, s.margin);
+  Metrics::global().gauge_max("leakage.cpa.best_score", out.best_score);
+  SECFLOW_LOG_INFO("leakage", "CPA done",
+                   LogField("best_guess", out.best_guess),
+                   LogField("correct_rank", out.correct_rank),
+                   LogField("disclosed", out.disclosed));
+  return out;
+}
+
+GeSummary run_ge_phase(const CompiledSimModel& model, TraceCache& cache,
+                       const LeakageSetup& s, bool differential,
+                       const HypothesisFn& hyp, const AbsTraceTask& task) {
+  Span span("leakage.guessing_entropy", "leakage");
+  span.arg("campaigns", s.ge_campaigns);
+  // Grid: quarters of the CPA budget, deduplicated and > 0.
+  std::vector<int> grid;
+  for (int q = 1; q <= 4; ++q) {
+    const int t = s.cpa_traces * q / 4;
+    if (t > 0 && (grid.empty() || grid.back() != t)) grid.push_back(t);
+  }
+  // Campaign k draws from streams [(k+1)*range, (k+2)*range) — disjoint
+  // from each other and from the CPA/MTD range [0, range).
+  const std::uint64_t range = static_cast<std::uint64_t>(
+      std::max(std::max(s.cpa_traces, s.mtd.max_traces), s.tvla_traces));
+  std::vector<double> rank_sum(grid.size(), 0.0);
+  std::vector<double> success(grid.size(), 0.0);
+  for (int k = 0; k < s.ge_campaigns; ++k) {
+    const std::uint64_t stream_base = range * static_cast<std::uint64_t>(k + 1);
+    CpaAccumulator acc;
+    bool have_shape = false;
+    int fed = 0;
+    for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+      std::vector<CpaMeasurement> chunk =
+          fetch_range(model, cache, "ge", s, differential, stream_base, fed,
+                      grid[gi], std::max(s.mtd.step, 1), task);
+      if (!have_shape) {
+        acc = CpaAccumulator(kDesKeyGuesses,
+                             static_cast<int>(chunk.front().samples.size()));
+        have_shape = true;
+      }
+      acc.merge(accumulate_cpa(chunk, hyp, cpa_options(s)));
+      fed = grid[gi];
+      const CpaRanking ranking = cpa_ranking(acc);
+      const int rank = ranking.rank_of(static_cast<int>(s.key));
+      rank_sum[gi] += rank;
+      if (rank == 1) success[gi] += 1.0;
+    }
+  }
+  GeSummary out;
+  out.present = true;
+  out.n_campaigns = s.ge_campaigns;
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    out.trace_grid.push_back(grid[gi]);
+    out.guessing_entropy.push_back(rank_sum[gi] /
+                                   static_cast<double>(s.ge_campaigns));
+    out.success_rate.push_back(success[gi] /
+                               static_cast<double>(s.ge_campaigns));
+  }
+  return out;
+}
+
+MtdSummary run_mtd_phase(const CompiledSimModel& model, TraceCache& cache,
+                         const LeakageSetup& s, bool differential,
+                         const HypothesisFn& hyp, const AbsTraceTask& task) {
+  Span span("leakage.mtd", "leakage");
+  span.arg("max_traces", s.mtd.max_traces);
+  const TraceFeeder feeder = [&](int begin, int end) {
+    // stream_base 0: the same trace stream the CPA phase used, so warm
+    // cache blocks are shared between the two phases.
+    return fetch_range(model, cache, "cpa", s, differential, 0, begin, end,
+                       std::max(s.mtd.step, 1), task);
+  };
+  const MtdResult result =
+      estimate_mtd(feeder, hyp, s.key, s.mtd, cpa_options(s));
+
+  MtdSummary out;
+  out.present = true;
+  out.mtd = result.mtd;
+  out.max_traces = s.mtd.max_traces;
+  out.step = s.mtd.step;
+  out.persist = s.mtd.persist;
+  out.traces_fed = result.traces_fed;
+  out.disclosed = result.disclosed;
+  for (int c : result.checkpoints) out.checkpoints.push_back(c);
+  for (int r : result.ranks) out.ranks.push_back(r);
+  Metrics::global().gauge_max(
+      "leakage.mtd", static_cast<double>(result.mtd < 0 ? s.mtd.max_traces
+                                                        : result.mtd));
+  SECFLOW_LOG_INFO("leakage", "MTD done", LogField("mtd", result.mtd),
+                   LogField("traces_fed", result.traces_fed));
+  return out;
+}
+
+LeakageReport report_shell(const CompiledSimModel& model, bool differential,
+                           const LeakageSetup& setup) {
+  LeakageReport r;
+  r.flow = differential ? "secure" : "regular";
+  r.design = setup.design.empty() ? model.netlist().name() : setup.design;
+  r.seed = static_cast<std::int64_t>(setup.seed);
+  r.n_threads = setup.parallelism.resolved_threads();
+  r.noise_ma = setup.noise_ma;
+  return r;
+}
+
+}  // namespace
+
+LeakageReport assess_des_leakage(const CompiledSimModel& model,
+                                 bool differential,
+                                 const LeakageSetup& setup) {
+  Span span("leakage.assess", "leakage");
+  span.arg("flow", differential ? "secure" : "regular");
+  SECFLOW_LOG_INFO("leakage", "assessment start",
+                   LogField("differential", differential),
+                   LogField("cpa_traces", setup.cpa_traces),
+                   LogField("tvla_traces", setup.tvla_traces));
+  TraceCache cache = make_cache(setup);
+  LeakageReport r = report_shell(model, differential, setup);
+
+  const DesPortMap ports = DesPortMap::resolve(model.netlist(), differential);
+  if (setup.with_tvla) {
+    const AbsTraceTask task = [&](PowerSimulator& sim, Rng& rng, int i) {
+      return des_tvla_trace(sim, rng, ports, setup, (i % 2) == 0);
+    };
+    r.tvla = run_tvla_phase(model, cache, setup, differential, task);
+  }
+  if (setup.with_cpa) {
+    const HypothesisFn hyp = des_hypothesis(setup.model, setup.sbox);
+    const AbsTraceTask task = [&](PowerSimulator& sim, Rng& rng, int) {
+      return des_cpa_trace(sim, rng, ports, setup);
+    };
+    r.cpa = run_cpa_phase(model, cache, setup, differential, hyp, task);
+    if (setup.ge_campaigns > 0) {
+      r.ge = run_ge_phase(model, cache, setup, differential, hyp, task);
+    }
+    if (setup.with_mtd) {
+      r.mtd = run_mtd_phase(model, cache, setup, differential, hyp, task);
+    }
+  }
+  r.trace_cache_hits = cache.hits;
+  r.trace_cache_misses = cache.misses;
+  return r;
+}
+
+LeakageReport assess_des_leakage(const Netlist& nl, const CapTable& caps,
+                                 bool differential,
+                                 const LeakageSetup& setup) {
+  PowerSimOptions opts;
+  opts.precharge_inputs = differential;
+  const CompiledSimModel model(nl, caps, opts);
+  return assess_des_leakage(model, differential, setup);
+}
+
+LeakageReport assess_tvla_leakage(const CompiledSimModel& model,
+                                  bool differential,
+                                  const LeakageSetup& setup) {
+  Span span("leakage.assess", "leakage");
+  span.arg("flow", differential ? "secure" : "regular");
+  TraceCache cache = make_cache(setup);
+  LeakageReport r = report_shell(model, differential, setup);
+
+  const std::vector<DesBitPorts> lanes =
+      input_lanes(model.netlist(), differential);
+  // The fixed-class lane pattern, drawn once per assessment from a
+  // dedicated stream (constant across traces, deterministic per seed).
+  Rng pattern_rng = Rng::stream(setup.seed, kFixedPatternStream);
+  std::vector<char> fixed_bits(lanes.size());
+  for (char& b : fixed_bits) b = pattern_rng.next_bool() ? 1 : 0;
+
+  const AbsTraceTask task = [&](PowerSimulator& sim, Rng& rng, int i) {
+    return generic_tvla_trace(sim, rng, lanes, fixed_bits, setup,
+                              (i % 2) == 0);
+  };
+  r.tvla = run_tvla_phase(model, cache, setup, differential, task);
+  r.trace_cache_hits = cache.hits;
+  r.trace_cache_misses = cache.misses;
+  return r;
+}
+
+LeakageReport assess_tvla_leakage(const Netlist& nl, const CapTable& caps,
+                                  bool differential,
+                                  const LeakageSetup& setup) {
+  PowerSimOptions opts;
+  opts.precharge_inputs = differential;
+  const CompiledSimModel model(nl, caps, opts);
+  return assess_tvla_leakage(model, differential, setup);
+}
+
+}  // namespace secflow

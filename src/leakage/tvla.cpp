@@ -1,0 +1,57 @@
+#include "leakage/tvla.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "base/error.h"
+
+namespace secflow {
+
+WelchAccumulator accumulate_tvla(const std::vector<TvlaTrace>& traces,
+                                 const TvlaOptions& opts) {
+  SECFLOW_CHECK(!traces.empty(), "TVLA: no traces to accumulate");
+  const std::size_t n_samples = traces.front().samples.size();
+  SECFLOW_CHECK(n_samples > 0, "TVLA: empty trace");
+
+  const std::size_t n_shards =
+      (traces.size() + kLeakageShardTraces - 1) / kLeakageShardTraces;
+  std::vector<WelchAccumulator> shards = parallel_map(
+      n_shards, opts.parallelism, [&](std::size_t shard) {
+        const std::size_t begin = shard * kLeakageShardTraces;
+        const std::size_t end =
+            std::min(begin + kLeakageShardTraces, traces.size());
+        WelchAccumulator acc(n_samples);
+        for (std::size_t i = begin; i < end; ++i) {
+          const TvlaTrace& t = traces[i];
+          SECFLOW_CHECK(t.samples.size() == n_samples,
+                        "TVLA trace " + std::to_string(i) + ": " +
+                            std::to_string(t.samples.size()) +
+                            " samples, expected " +
+                            std::to_string(n_samples));
+          acc.add(t.fixed, t.samples.data());
+        }
+        return acc;
+      });
+  WelchAccumulator total = std::move(shards.front());
+  for (std::size_t i = 1; i < shards.size(); ++i) total.merge(shards[i]);
+  return total;
+}
+
+double tvla_max_abs_t(const WelchAccumulator& acc) {
+  double best = 0.0;
+  for (double t : acc.t_statistic()) best = std::max(best, std::fabs(t));
+  return best;
+}
+
+std::vector<std::size_t> tvla_leaky_samples(const WelchAccumulator& acc,
+                                            double threshold) {
+  std::vector<std::size_t> out;
+  const std::vector<double> t = acc.t_statistic();
+  for (std::size_t s = 0; s < t.size(); ++s) {
+    if (std::fabs(t[s]) > threshold) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace secflow

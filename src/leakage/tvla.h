@@ -1,0 +1,46 @@
+// Fixed-vs-random Welch-t leakage detection (TVLA, Goodwill et al.).
+//
+// Non-specific test: one trace population encrypts a fixed plaintext, the
+// other random plaintexts.  Any sample whose Welch-t statistic between the
+// two classes exceeds the detection threshold (|t| > 4.5 by convention)
+// betrays data-dependent power draw — evidence of first-order leakage
+// without committing to an attack model.  Accumulation uses the same
+// fixed-width shard-and-merge scheme as CPA, so the t curve is
+// bit-identical at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/parallel.h"
+#include "leakage/accumulators.h"
+
+namespace secflow {
+
+/// One classified trace of a fixed-vs-random campaign.
+struct TvlaTrace {
+  std::vector<double> samples;
+  bool fixed = false;  ///< fixed-plaintext class (else random class)
+};
+
+struct TvlaOptions {
+  /// Detection threshold on |t| (4.5 is the conventional TVLA bound,
+  /// giving ~1e-5 false-positive odds per sample under the null).
+  double threshold = 4.5;
+  Parallelism parallelism;
+};
+
+/// Accumulate every trace into per-sample two-class Welch state (sharded,
+/// merged in deterministic order).  Throws Error on empty input or ragged
+/// traces.
+WelchAccumulator accumulate_tvla(const std::vector<TvlaTrace>& traces,
+                                 const TvlaOptions& opts);
+
+/// max_s |t(s)| of an accumulated campaign (0 when degenerate).
+double tvla_max_abs_t(const WelchAccumulator& acc);
+
+/// Sample indices whose |t| exceeds the threshold.
+std::vector<std::size_t> tvla_leaky_samples(const WelchAccumulator& acc,
+                                            double threshold);
+
+}  // namespace secflow

@@ -145,6 +145,22 @@ JsonValue flow_report_to_json(const FlowReport& r) {
     doc.set("dpa", JsonValue());
   }
 
+  if (r.leakage.present) {
+    JsonValue lk = JsonValue::object();
+    lk.set("model", r.leakage.model);
+    lk.set("cpa_traces", r.leakage.cpa_traces);
+    lk.set("cpa_best_guess", r.leakage.cpa_best_guess);
+    lk.set("cpa_correct_rank", r.leakage.cpa_correct_rank);
+    lk.set("cpa_disclosed", r.leakage.cpa_disclosed);
+    lk.set("tvla_max_abs_t", r.leakage.tvla_max_abs_t);
+    lk.set("tvla_leaks", r.leakage.tvla_leaks);
+    lk.set("mtd", r.leakage.mtd);
+    lk.set("mtd_max_traces", r.leakage.mtd_max_traces);
+    doc.set("leakage", std::move(lk));
+  } else {
+    doc.set("leakage", JsonValue());
+  }
+
   doc.set("metrics", metrics_to_json(r.metrics));
   return doc;
 }
@@ -215,6 +231,23 @@ void validate_flow_report(const JsonValue& doc) {
     num(*dpa, "best_peak", "dpa");
     num(*dpa, "runner_up_peak", "dpa");
     num(*dpa, "mean_cycle_energy_pj", "dpa");
+  }
+  const JsonValue* leakage = doc.find("leakage");
+  SECFLOW_CHECK(
+      leakage != nullptr && (leakage->is_null() || leakage->is_object()),
+      "flow report: leakage must be null or an object");
+  if (leakage->is_object()) {
+    const std::string model = str(*leakage, "model", "leakage");
+    SECFLOW_CHECK(model.empty() || model == "hw" || model == "hd",
+                  "flow report: leakage model must be '', 'hw' or 'hd'");
+    num(*leakage, "cpa_traces", "leakage");
+    num(*leakage, "cpa_best_guess", "leakage");
+    num(*leakage, "cpa_correct_rank", "leakage");
+    boolean(*leakage, "cpa_disclosed", "leakage");
+    num(*leakage, "tvla_max_abs_t", "leakage");
+    num(*leakage, "tvla_leaks", "leakage");
+    num(*leakage, "mtd", "leakage");
+    num(*leakage, "mtd_max_traces", "leakage");
   }
   metrics_from_json(member(doc, "metrics", JsonValue::Kind::kObject,
                            "document"));  // type-checks every entry
@@ -287,6 +320,25 @@ FlowReport flow_report_from_json(const JsonValue& doc) {
     r.dpa.best_peak = num(*dpa, "best_peak", "dpa");
     r.dpa.runner_up_peak = num(*dpa, "runner_up_peak", "dpa");
     r.dpa.mean_cycle_energy_pj = num(*dpa, "mean_cycle_energy_pj", "dpa");
+  }
+
+  const JsonValue* leakage = doc.find("leakage");
+  if (leakage->is_object()) {
+    r.leakage.present = true;
+    r.leakage.model = str(*leakage, "model", "leakage");
+    r.leakage.cpa_traces =
+        static_cast<std::int64_t>(num(*leakage, "cpa_traces", "leakage"));
+    r.leakage.cpa_best_guess = static_cast<std::int64_t>(
+        num(*leakage, "cpa_best_guess", "leakage"));
+    r.leakage.cpa_correct_rank = static_cast<std::int64_t>(
+        num(*leakage, "cpa_correct_rank", "leakage"));
+    r.leakage.cpa_disclosed = boolean(*leakage, "cpa_disclosed", "leakage");
+    r.leakage.tvla_max_abs_t = num(*leakage, "tvla_max_abs_t", "leakage");
+    r.leakage.tvla_leaks =
+        static_cast<std::int64_t>(num(*leakage, "tvla_leaks", "leakage"));
+    r.leakage.mtd = static_cast<std::int64_t>(num(*leakage, "mtd", "leakage"));
+    r.leakage.mtd_max_traces = static_cast<std::int64_t>(
+        num(*leakage, "mtd_max_traces", "leakage"));
   }
 
   r.metrics = metrics_from_json(

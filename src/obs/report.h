@@ -66,6 +66,25 @@ struct DpaSection {
   bool operator==(const DpaSection&) const = default;
 };
 
+/// Statistical leakage-assessment summary (attached by leakage/ via
+/// attach_leakage when an assessment ran).  A digest of the full
+/// secflow.leakage-report/1 document, kept flat so flow/campaign reports
+/// stay scannable.
+struct LeakageSection {
+  bool present = false;
+  std::string model;  ///< CPA power model: "hw" | "hd" | "" (TVLA only)
+  std::int64_t cpa_traces = 0;
+  std::int64_t cpa_best_guess = -1;
+  std::int64_t cpa_correct_rank = 0;  ///< 0 when CPA did not run
+  bool cpa_disclosed = false;
+  double tvla_max_abs_t = 0.0;
+  std::int64_t tvla_leaks = 0;  ///< samples with |t| above threshold
+  std::int64_t mtd = -1;        ///< -1 = hidden at the trace budget
+  std::int64_t mtd_max_traces = 0;
+
+  bool operator==(const LeakageSection&) const = default;
+};
+
 struct FlowReport {
   std::string schema = kFlowReportSchema;
   std::string flow;   ///< "regular" | "secure"
@@ -87,6 +106,7 @@ struct FlowReport {
 
   SecureSection secure;
   DpaSection dpa;
+  LeakageSection leakage;
   MetricsSnapshot metrics;
 
   bool operator==(const FlowReport&) const = default;

@@ -12,10 +12,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "base/parallel.h"
+#include "sca/selection.h"
 
 namespace secflow {
 
@@ -25,11 +25,6 @@ struct DpaMeasurement {
   std::vector<double> samples;
   std::uint32_t ciphertext = 0;  ///< packed observable (circuit-specific)
 };
-
-/// Selection function: predicted target bit from the ciphertext under a
-/// key guess.
-using SelectionFn = std::function<bool(std::uint32_t ciphertext,
-                                       std::uint32_t key_guess)>;
 
 struct DpaOptions {
   int n_key_guesses = 64;

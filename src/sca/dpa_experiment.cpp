@@ -12,21 +12,13 @@
 namespace secflow {
 namespace {
 
-/// Pre-resolved port ids for one multi-bit value.  For a differential
-/// netlist each bit has a true and a false rail; single-ended designs
-/// leave `f` invalid.  Resolved once per campaign so the per-trace task
-/// never hashes a port name.
-struct BitPorts {
-  PortId t;
-  PortId f;
-};
-
-std::vector<BitPorts> resolve_bits(const Netlist& nl, const std::string& base,
-                                   int width, bool differential) {
-  std::vector<BitPorts> ports(static_cast<std::size_t>(width));
+std::vector<DesBitPorts> resolve_bits(const Netlist& nl,
+                                      const std::string& base, int width,
+                                      bool differential) {
+  std::vector<DesBitPorts> ports(static_cast<std::size_t>(width));
   for (int i = 0; i < width; ++i) {
     const std::string bit = base + "_" + std::to_string(i);
-    BitPorts& b = ports[static_cast<std::size_t>(i)];
+    DesBitPorts& b = ports[static_cast<std::size_t>(i)];
     if (differential) {
       b.t = nl.find_port(bit + "_t");
       b.f = nl.find_port(bit + "_f");
@@ -39,9 +31,22 @@ std::vector<BitPorts> resolve_bits(const Netlist& nl, const std::string& base,
   return ports;
 }
 
-/// Set a multi-bit input on a single-ended or differential simulator.
-void drive_value(PowerSimulator& sim, const std::vector<BitPorts>& ports,
-                 std::uint32_t value, bool differential) {
+}  // namespace
+
+DesPortMap DesPortMap::resolve(const Netlist& nl, bool differential) {
+  DesPortMap m;
+  m.differential = differential;
+  m.k = resolve_bits(nl, "k", 6, differential);
+  m.pl = resolve_bits(nl, "pl", 4, differential);
+  m.pr = resolve_bits(nl, "pr", 6, differential);
+  m.cl = resolve_bits(nl, "cl", 4, differential);
+  m.cr = resolve_bits(nl, "cr", 6, differential);
+  return m;
+}
+
+void DesPortMap::drive(PowerSimulator& sim,
+                       const std::vector<DesBitPorts>& ports,
+                       std::uint32_t value) const {
   for (std::size_t i = 0; i < ports.size(); ++i) {
     const bool v = (value >> i) & 1;
     sim.set_input(ports[i].t, v);
@@ -49,12 +54,8 @@ void drive_value(PowerSimulator& sim, const std::vector<BitPorts>& ports,
   }
 }
 
-/// Read a multi-bit observable.  A WDDL design is observable only during
-/// the evaluate phase (rails precharge to 0 afterwards); a regular design
-/// is read at the end of the cycle, when everything has settled.
-std::uint32_t read_value(const PowerSimulator& sim,
-                         const std::vector<BitPorts>& ports,
-                         bool differential) {
+std::uint32_t DesPortMap::read(const PowerSimulator& sim,
+                               const std::vector<DesBitPorts>& ports) const {
   std::uint32_t v = 0;
   for (std::size_t i = 0; i < ports.size(); ++i) {
     const bool b = differential ? sim.output_at_eval(ports[i].t)
@@ -62,16 +63,6 @@ std::uint32_t read_value(const PowerSimulator& sim,
     if (b) v |= 1u << i;
   }
   return v;
-}
-
-}  // namespace
-
-SelectionFn des_selection(int bit, int sbox) {
-  return [bit, sbox](std::uint32_t ciphertext, std::uint32_t guess) {
-    const std::uint32_t cl = ciphertext & 0xF;
-    const std::uint32_t cr = (ciphertext >> 4) & 0x3F;
-    return des_dpa_selection(cl, cr, guess, bit, sbox);
-  };
 }
 
 DesDpaCampaign run_des_dpa_campaign(const CompiledSimModel& model,
@@ -86,16 +77,7 @@ DesDpaCampaign run_des_dpa_campaign(const CompiledSimModel& model,
 
   // Resolve the Fig 4 interface once; the per-trace task below does no
   // string lookups.
-  const Netlist& nl = model.netlist();
-  const std::vector<BitPorts> k_ports = resolve_bits(nl, "k", 6, differential);
-  const std::vector<BitPorts> pl_ports =
-      resolve_bits(nl, "pl", 4, differential);
-  const std::vector<BitPorts> pr_ports =
-      resolve_bits(nl, "pr", 6, differential);
-  const std::vector<BitPorts> cl_ports =
-      resolve_bits(nl, "cl", 4, differential);
-  const std::vector<BitPorts> cr_ports =
-      resolve_bits(nl, "cr", 6, differential);
+  const DesPortMap ports = DesPortMap::resolve(model.netlist(), differential);
 
   // One task per measurement.  The task replays a four-cycle
   // mini-campaign on a reset simulator so the recorded cycle carries
@@ -109,19 +91,19 @@ DesDpaCampaign run_des_dpa_campaign(const CompiledSimModel& model,
     const auto prev_pr = static_cast<std::uint32_t>(rng.next_below(64));
     const auto pl = static_cast<std::uint32_t>(rng.next_below(16));
     const auto pr = static_cast<std::uint32_t>(rng.next_below(64));
-    drive_value(sim, k_ports, setup.key, differential);
-    drive_value(sim, pl_ports, prev_pl, differential);
-    drive_value(sim, pr_ports, prev_pr, differential);
+    ports.drive(sim, ports.k, setup.key);
+    ports.drive(sim, ports.pl, prev_pl);
+    ports.drive(sim, ports.pr, prev_pr);
     sim.settle();
     sim.run_cycle();
-    drive_value(sim, pl_ports, pl, differential);
-    drive_value(sim, pr_ports, pr, differential);
+    ports.drive(sim, ports.pl, pl);
+    ports.drive(sim, ports.pr, pr);
     sim.run_cycle();
     SimTrace out;
     out.cycle = sim.run_cycle();
     sim.run_cycle();
-    const std::uint32_t cl = read_value(sim, cl_ports, differential);
-    const std::uint32_t cr = read_value(sim, cr_ports, differential);
+    const std::uint32_t cl = ports.read(sim, ports.cl);
+    const std::uint32_t cr = ports.read(sim, ports.cr);
     out.observable = cl | (cr << 4);
     if (setup.noise_ma > 0.0) {
       for (double& s : out.cycle.current_ma) {

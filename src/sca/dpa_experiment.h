@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "base/parallel.h"
 #include "netlist/netlist.h"
@@ -21,6 +22,36 @@
 #include "sim/power_sim.h"
 
 namespace secflow {
+
+/// Pre-resolved port ids for one bit of the Fig 4 interface.  For a
+/// differential netlist each bit has a true and a false rail;
+/// single-ended designs leave `f` invalid.
+struct DesBitPorts {
+  PortId t;
+  PortId f;
+};
+
+/// The Fig 4 interface (pl/pr/k inputs, cl/cr outputs, rails suffixed
+/// _t/_f on differential netlists), resolved to PortIds once per campaign
+/// so per-trace tasks never hash a port name.  Shared by the DPA campaign
+/// and the leakage-assessment campaigns (leakage/assess.h).
+struct DesPortMap {
+  std::vector<DesBitPorts> k, pl, pr, cl, cr;
+  bool differential = false;
+
+  /// Resolve from port names; throws Error on a missing port/rail.
+  static DesPortMap resolve(const Netlist& nl, bool differential);
+
+  /// Drive a multi-bit input (both rails on differential designs).
+  void drive(PowerSimulator& sim, const std::vector<DesBitPorts>& ports,
+             std::uint32_t value) const;
+
+  /// Read a multi-bit observable.  A WDDL design is observable only
+  /// during the evaluate phase (rails precharge to 0 afterwards); a
+  /// regular design reads the settled end-of-cycle value.
+  std::uint32_t read(const PowerSimulator& sim,
+                     const std::vector<DesBitPorts>& ports) const;
+};
 
 struct DesDpaSetup {
   std::uint32_t key = 46;      ///< the paper's secret key
@@ -34,9 +65,6 @@ struct DesDpaSetup {
   /// Trace-synthesis and key-guess-sweep parallelism.
   Parallelism parallelism;
 };
-
-/// Selection function for the Fig 4 ciphertext packing (cl | cr << 4).
-SelectionFn des_selection(int bit, int sbox = 1);
 
 /// Run the measurement campaign on a regular (single-ended) reduced-DES
 /// netlist with ports pl_*, pr_*, k_*, clk, cl_*, cr_*.

@@ -67,9 +67,18 @@
 #include "sca/dpa.h"
 #include "sca/dpa_experiment.h"
 #include "sca/ema.h"
+#include "sca/selection.h"
 #include "sca/trace_io.h"
 #include "sim/power_sim.h"
 #include "sim/trace_sim.h"
+
+// Statistical leakage assessment: streaming accumulators, CPA, TVLA,
+// guessing entropy and MTD estimation, and the leakage report.
+#include "leakage/accumulators.h"
+#include "leakage/assess.h"
+#include "leakage/cpa.h"
+#include "leakage/report.h"
+#include "leakage/tvla.h"
 
 // Observability: flow reports, structured logs, metrics, trace spans.
 #include "obs/json.h"

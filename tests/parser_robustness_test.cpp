@@ -6,12 +6,14 @@
 
 #include "base/error.h"
 #include "campaign/spec.h"
+#include "leakage/report.h"
 #include "lef/lef_io.h"
 #include "liberty/builtin_lib.h"
 #include "liberty/liberty_parser.h"
 #include "netlist/verilog_parser.h"
 #include "obs/report.h"
 #include "pnr/def.h"
+#include "sca/trace_io.h"
 #include "synth/hdl.h"
 
 namespace secflow {
@@ -106,9 +108,66 @@ std::string sample_flow_report_json() {
   r.stages.push_back(e);
   r.secure.present = true;
   r.secure.lec_equivalent = true;
+  r.leakage.present = true;
+  r.leakage.model = "hw";
+  r.leakage.cpa_traces = 400;
+  r.leakage.cpa_best_guess = 46;
+  r.leakage.cpa_correct_rank = 1;
+  r.leakage.cpa_disclosed = true;
+  r.leakage.tvla_max_abs_t = 6.25;
+  r.leakage.tvla_leaks = true;
+  r.leakage.mtd = 200;
+  r.leakage.mtd_max_traces = 600;
   r.metrics.counters["pnr.route.iterations"] = 2;
   return flow_report_json(r);
 }
+
+/// A valid secflow.leakage-report/1 document, produced by the writer
+/// itself so the sweep input can never drift from the schema.
+std::string sample_leakage_report_json() {
+  LeakageReport r;
+  r.flow = "secure";
+  r.design = "des_dpa";
+  r.seed = 2025;
+  r.n_threads = 4;
+  r.noise_ma = 0.6;
+  r.tvla.present = true;
+  r.tvla.n_fixed = 100;
+  r.tvla.n_random = 100;
+  r.tvla.n_samples = 800;
+  r.tvla.max_abs_t = 18.3;
+  r.tvla.leaky_samples = 12;
+  r.tvla.leaks = true;
+  r.cpa.present = true;
+  r.cpa.model = "hw";
+  r.cpa.n_traces = 400;
+  r.cpa.best_guess = 2;
+  r.cpa.best_score = 0.13;
+  r.cpa.runner_up_score = 0.11;
+  r.cpa.correct_key = 46;
+  r.cpa.correct_rank = 36;
+  r.ge.present = true;
+  r.ge.n_campaigns = 2;
+  r.ge.trace_grid = {100, 200, 400};
+  r.ge.guessing_entropy = {12.0, 3.5, 1.0};
+  r.ge.success_rate = {0.0, 0.5, 1.0};
+  r.mtd.present = true;
+  r.mtd.mtd = -1;
+  r.mtd.max_traces = 600;
+  r.mtd.step = 200;
+  r.mtd.persist = 3;
+  r.mtd.traces_fed = 600;
+  r.mtd.checkpoints = {200, 400, 600};
+  r.mtd.ranks = {40, 38, 36};
+  r.trace_cache_hits = 3;
+  r.trace_cache_misses = 7;
+  return leakage_report_json(r);
+}
+
+const char* kTracesCsv =
+    "0.25,1.5,-0.75,2.0\n"
+    "1.0,0.5,0.0,-1.25\n"
+    "-2.0,3.5,1.75,0.5\n";
 
 const char* kHdl = R"(
 module m (input clk, input [3:0] a, output [3:0] y);
@@ -191,6 +250,52 @@ TEST(ParserRobustness, FlowReport) {
   sweep_mutations(doc, parse);
 }
 
+TEST(ParserRobustness, LeakageReport) {
+  const std::string doc = sample_leakage_report_json();
+  auto parse = [](const std::string& s) { parse_leakage_report(s); };
+  sweep_truncations(doc, parse);
+  sweep_mutations(doc, parse);
+}
+
+TEST(ParserRobustness, LeakageReportRoundTrip) {
+  const std::string doc = sample_leakage_report_json();
+  const LeakageReport parsed = parse_leakage_report(doc);
+  EXPECT_EQ(leakage_report_json(parsed), doc);
+}
+
+TEST(ParserRobustness, TracesCsv) {
+  auto parse = [](const std::string& s) { parse_traces_csv(s); };
+  sweep_truncations(kTracesCsv, parse);
+  sweep_mutations(kTracesCsv, parse);
+}
+
+TEST(ParserRobustness, TracesCsvRejectsNonFinite) {
+  // NaN/Inf would silently poison the one-pass accumulators; the loader
+  // must stop them at the boundary with a clean Error.
+  EXPECT_THROW(parse_traces_csv("1.0,nan,2.0\n"), Error);
+  EXPECT_THROW(parse_traces_csv("1.0,inf,2.0\n"), Error);
+  EXPECT_THROW(parse_traces_csv("1.0,-inf,2.0\n"), Error);
+  EXPECT_THROW(parse_traces_csv("nan\n"), Error);
+}
+
+TEST(ParserRobustness, TracesCsvRejectsTruncatedRecords) {
+  // Short row (truncated record), trailing comma (empty cell), and
+  // non-numeric junk must all throw, never produce a ragged matrix.
+  EXPECT_THROW(parse_traces_csv("1.0,2.0,3.0\n1.0,2.0\n"), Error);
+  EXPECT_THROW(parse_traces_csv("1.0,2.0,\n"), Error);
+  EXPECT_THROW(parse_traces_csv("1.0,2.0,x\n"), Error);
+  EXPECT_THROW(parse_traces_csv("1.0,2.0,3.0junk\n"), Error);
+}
+
+TEST(ParserRobustness, TracesCsvAcceptsValidInput) {
+  const auto traces = parse_traces_csv(kTracesCsv);
+  ASSERT_EQ(traces.size(), 3u);
+  ASSERT_EQ(traces[0].size(), 4u);
+  EXPECT_DOUBLE_EQ(traces[0][0], 0.25);
+  EXPECT_DOUBLE_EQ(traces[2][3], 0.5);
+  EXPECT_TRUE(parse_traces_csv("").empty());
+}
+
 TEST(ParserRobustness, ValidDocumentsStillParse) {
   const auto lib = builtin_stdcell018();
   EXPECT_NO_THROW(parse_verilog(kVerilog, lib));
@@ -200,6 +305,8 @@ TEST(ParserRobustness, ValidDocumentsStillParse) {
   EXPECT_NO_THROW(parse_hdl(kHdl));
   EXPECT_NO_THROW(parse_campaign_spec(kCampaignSpec));
   EXPECT_NO_THROW(parse_flow_report(sample_flow_report_json()));
+  EXPECT_NO_THROW(parse_leakage_report(sample_leakage_report_json()));
+  EXPECT_NO_THROW(parse_traces_csv(kTracesCsv));
 }
 
 }  // namespace

@@ -5,8 +5,10 @@
 #include "base/error.h"
 #include "base/rng.h"
 #include "crypto/des.h"
+#include "leakage/cpa.h"
 #include "liberty/builtin_lib.h"
 #include "sca/dfa.h"
+#include "sca/selection.h"
 #include "sca/dpa.h"
 #include "sca/dpa_experiment.h"
 #include "sca/ema.h"
@@ -244,6 +246,94 @@ TEST(DesDpaExperiment, SelectionFunctionPacksCiphertext) {
   const std::uint32_t cl = 0b1010, cr = 0b010110;
   const bool expect = ((cl ^ des_sbox(1, cr ^ 46u)) >> 2) & 1;
   EXPECT_EQ(sel(cl | (cr << 4), 46u), expect);
+}
+
+// --- the shared selection / hypothesis core (sca/selection.h) -------------------
+
+TEST(Selection, PredictPlReconstructsTheRegisterNibble) {
+  // PL = CL ^ Sbox(CR ^ K) for every packing, exact at the correct key.
+  for (std::uint32_t cl = 0; cl < 16; ++cl) {
+    for (std::uint32_t cr : {0u, 21u, 46u, 63u}) {
+      const std::uint32_t ct = cl | (cr << 4);
+      EXPECT_EQ(des_predict_pl(ct, 46, 1), cl ^ des_sbox(1, cr ^ 46u));
+      EXPECT_EQ(des_predict_pl(ct, 0, 2), cl ^ des_sbox(2, cr));
+    }
+  }
+}
+
+TEST(Selection, DpaSelectionIsABitOfTheSharedPrediction) {
+  // The DPA partition predicate and the CPA hypotheses must derive from
+  // the same intermediate — that is the whole point of selection.h.
+  for (int bit = 0; bit < 4; ++bit) {
+    const SelectionFn sel = des_selection(bit);
+    for (std::uint32_t ct : {0x0u, 0x1A5u, 0x2FFu, 0x173u}) {
+      for (std::uint32_t g : {0u, 17u, 46u, 63u}) {
+        EXPECT_EQ(sel(ct, g),
+                  ((des_predict_pl(ct, g) >> bit) & 1u) != 0);
+      }
+    }
+  }
+}
+
+TEST(Selection, HypothesesAreHwAndHdOfTheSharedPrediction) {
+  const HypothesisFn hw = des_hypothesis(PowerModel::kHammingWeight);
+  const HypothesisFn hd = des_hypothesis(PowerModel::kHammingDistance);
+  for (std::uint32_t ct : {0x12Bu, 0x3C4u}) {
+    for (std::uint32_t prev : {0x0u, 0x2D9u}) {
+      for (std::uint32_t g : {7u, 46u}) {
+        EXPECT_EQ(hw(ct, prev, g),
+                  hamming_weight(des_predict_pl(ct, g)));
+        EXPECT_EQ(hd(ct, prev, g),
+                  hamming_weight(des_predict_pl(ct, g) ^
+                                 des_predict_pl(prev, g)));
+      }
+    }
+  }
+}
+
+TEST(Selection, PowerModelNamesRoundTrip) {
+  EXPECT_STREQ(power_model_name(PowerModel::kHammingWeight), "hw");
+  EXPECT_STREQ(power_model_name(PowerModel::kHammingDistance), "hd");
+  EXPECT_EQ(parse_power_model("hw"), PowerModel::kHammingWeight);
+  EXPECT_EQ(parse_power_model("hd"), PowerModel::kHammingDistance);
+  EXPECT_FALSE(parse_power_model("hamming").has_value());
+  EXPECT_FALSE(parse_power_model("").has_value());
+}
+
+TEST(Selection, DpaAndCpaRecoverTheSameKeyThroughTheSharedCore) {
+  // One synthetic device leaking HW(PL): the difference-of-means DPA
+  // (partition via des_selection) and the correlation CPA (hypotheses via
+  // des_hypothesis) must both converge on the planted key.
+  const std::uint32_t key = 46;
+  Rng rng(991);
+  DpaAnalysis dpa(des_selection(0));
+  std::vector<CpaMeasurement> cpa_traces;
+  for (int i = 0; i < 600; ++i) {
+    const std::uint32_t ct = static_cast<std::uint32_t>(rng.next_below(1024));
+    const double leak =
+        static_cast<double>(hamming_weight(des_predict_pl(ct, key)));
+    std::vector<double> samples(8);
+    for (double& s : samples) s = 0.3 * rng.next_gaussian();
+    samples[3] += leak;
+    DpaMeasurement dm;
+    dm.ciphertext = ct;
+    dm.samples = samples;
+    dpa.add_measurement(std::move(dm));
+    CpaMeasurement cm;
+    cm.ct = ct;
+    cm.prev_ct = 0;
+    cm.samples = std::move(samples);
+    cpa_traces.push_back(std::move(cm));
+  }
+  const DpaResult dr = dpa.analyze(key);
+  EXPECT_EQ(dr.best_guess, static_cast<int>(key));
+  EXPECT_TRUE(dr.disclosed);
+  const CpaAccumulator acc = accumulate_cpa(
+      cpa_traces, des_hypothesis(PowerModel::kHammingWeight), {});
+  const CpaRanking cr = cpa_ranking(acc);
+  EXPECT_EQ(cr.best_guess, static_cast<int>(key));
+  EXPECT_EQ(cr.rank_of(static_cast<int>(key)), 1);
+  EXPECT_TRUE(cr.disclosed(key, 0.05));
 }
 
 }  // namespace
