@@ -97,6 +97,7 @@ std::uint64_t fingerprint(const PlaceOptions& o) {
 std::uint64_t fingerprint(const RouteOptions& o) {
   Hasher h;
   h.add(o.via_cost).add(o.max_iterations);
+  h.add(o.window_margin).add(o.window_escalation).add(o.incremental);
   h.add(static_cast<std::uint64_t>(o.skip_nets.size()));
   for (const std::string& n : o.skip_nets) h.add(n);
   return h.digest();

@@ -31,7 +31,8 @@ std::uint64_t fingerprint(const Process018& p);
 std::uint64_t fingerprint(const SynthConstraints& c);
 /// Excludes PlaceOptions::parallelism (does not change the placement).
 std::uint64_t fingerprint(const PlaceOptions& o);
-/// Excludes RouteOptions::verbose (logging only).
+/// Excludes RouteOptions::verbose (logging only) and ::parallelism (the
+/// routed geometry is bit-identical at any thread count).
 std::uint64_t fingerprint(const RouteOptions& o);
 /// Excludes ExtractOptions::parallelism; includes the process constants.
 std::uint64_t fingerprint(const ExtractOptions& o);

@@ -293,7 +293,9 @@ TimingReport parse_timing_report(const std::string& text) {
 std::string write_route_stats(const RouteStats& s) {
   std::ostringstream os = make_out();
   os << "ROUTESTATS " << s.wirelength_dbu << ' ' << s.vias << ' '
-     << s.nets_routed << ' ' << s.iterations << '\n';
+     << s.nets_routed << ' ' << s.iterations << ' ' << s.expanded_nodes
+     << ' ' << s.window_escalations << ' ' << s.full_grid_searches << ' '
+     << s.nets_ripped << '\n';
   return os.str();
 }
 
@@ -305,6 +307,10 @@ RouteStats parse_route_stats(const std::string& text) {
   s.vias = static_cast<int>(ts.integer());
   s.nets_routed = static_cast<int>(ts.integer());
   s.iterations = static_cast<int>(ts.integer());
+  s.expanded_nodes = ts.integer();
+  s.window_escalations = static_cast<int>(ts.integer());
+  s.full_grid_searches = static_cast<int>(ts.integer());
+  s.nets_ripped = ts.integer();
   ts.done();
   return s;
 }

@@ -52,6 +52,7 @@ std::string clock_net_name(const Netlist& nl) {
 FlowOptions resolve_parallelism(const FlowOptions& opts) {
   FlowOptions o = opts;
   if (o.place.parallelism.n_threads == 0) o.place.parallelism = o.parallelism;
+  if (o.route.parallelism.n_threads == 0) o.route.parallelism = o.parallelism;
   if (o.extract.parallelism.n_threads == 0)
     o.extract.parallelism = o.parallelism;
   return o;
@@ -248,7 +249,16 @@ void FlowOptions::validate() const {
           "FlowOptions: extract.coupling_max_sep_um must be >= 0");
   require(extract.variation_sigma >= 0.0,
           "FlowOptions: extract.variation_sigma must be >= 0");
+  require(route.max_iterations >= 1,
+          "FlowOptions: route.max_iterations must be >= 1");
+  require(route.window_margin >= 0,
+          "FlowOptions: route.window_margin must be >= 0");
+  require(route.window_escalation >= 2,
+          "FlowOptions: route.window_escalation must be >= 2 — the search "
+          "window must grow on escalation or congested nets never reach "
+          "full-grid search");
   require(parallelism.n_threads >= 0 && place.parallelism.n_threads >= 0 &&
+              route.parallelism.n_threads >= 0 &&
               extract.parallelism.n_threads >= 0,
           "FlowOptions: thread counts must be >= 0 (0 = auto)");
   require(!(resume_from && cache_dir.empty()),

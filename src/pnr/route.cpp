@@ -1,11 +1,14 @@
 #include "pnr/route.h"
 
 #include <algorithm>
-#include <queue>
+#include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "base/error.h"
+#include "base/parallel.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -42,132 +45,378 @@ struct Grid {
   }
 };
 
-struct NetTask {
-  std::size_t net_index;       // into DefDesign.nets
-  std::vector<int> pin_nodes;  // grid nodes (layer 0)
-  std::vector<int> path;       // routed nodes (tree), filled by router
+/// Inclusive rectangle of grid columns/rows (all layers) a net's search
+/// may touch.  Both the A* expansion and the committed path stay inside
+/// the window, so two nets with disjoint windows never read or write the
+/// same grid node — the invariant batch-parallel routing relies on.
+struct Window {
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+  bool contains(int xi, int yi) const {
+    return xi >= x0 && xi <= x1 && yi >= y0 && yi <= y1;
+  }
 };
 
-/// Dijkstra from the current tree (sources) to the target node.
-/// Returns the path from a source to the target (inclusive), or empty.
-std::vector<int> shortest_path(const Grid& g, const std::vector<int>& sources,
-                               int target, const RouteOptions& opts,
-                               const std::vector<int>& usage,
-                               const std::vector<int>& history,
-                               const std::vector<int>& owner, int self,
-                               int iteration) {
-  const int n = g.nodes();
-  std::vector<int> dist(n, INT32_MAX);
-  std::vector<int> prev(n, -1);
-  using QE = std::pair<int, int>;  // (dist, node)
-  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
-  for (int s : sources) {
-    dist[s] = 0;
-    pq.push({0, s});
+struct NetTask {
+  std::size_t net_index = 0;       // into DefDesign.nets
+  std::vector<int> pin_nodes;      // one node per netlist pin (layer 0)
+  std::vector<int> distinct_pins;  // deduplicated; usage-counted once
+  std::vector<int> path;           // routed non-pin tree nodes
+  int bb_x0 = 0, bb_x1 = 0, bb_y0 = 0, bb_y1 = 0;  // pin bounding box
+  int escalations = 0;  // reroutes attempted with a grown window
+};
+
+/// Persistent per-thread search scratch, full-grid sized but never
+/// refilled between searches: a slot is valid only while its generation
+/// stamp matches the current epoch, so starting a new search or moving to
+/// the next net is O(1) and steady-state routing allocates nothing.
+class RouterSearchState {
+ public:
+  void prepare(int n_nodes) {
+    if (static_cast<int>(dist_.size()) != n_nodes) {
+      dist_.assign(static_cast<std::size_t>(n_nodes), 0);
+      prev_.assign(static_cast<std::size_t>(n_nodes), -1);
+      search_mark_.assign(static_cast<std::size_t>(n_nodes), 0);
+      tree_mark_.assign(static_cast<std::size_t>(n_nodes), 0);
+      pin_mark_.assign(static_cast<std::size_t>(n_nodes), 0);
+      search_epoch_ = tree_epoch_ = pin_epoch_ = 0;
+    }
   }
-  auto node_cost = [&](int node) {
-    // Base cost 1; congestion-negotiated penalties on foreign usage.
-    int c = 1;
-    const int foreign = usage[node] - (owner[node] == self ? 1 : 0);
-    if (foreign > 0) c += foreign * (8 * iteration + 8);
-    c += history[node];
+
+  void begin_search() {
+    bump(search_epoch_, search_mark_);
+    heap_.clear();
+  }
+  void begin_net() {
+    bump(tree_epoch_, tree_mark_);
+    bump(pin_epoch_, pin_mark_);
+  }
+
+  bool visited(int n) const { return search_mark_[n] == search_epoch_; }
+  int dist(int n) const { return dist_[n]; }
+  int prev(int n) const { return prev_[n]; }
+  void set(int n, int d, int from) {
+    dist_[n] = d;
+    prev_[n] = from;
+    search_mark_[n] = search_epoch_;
+  }
+
+  bool in_tree(int n) const { return tree_mark_[n] == tree_epoch_; }
+  void add_tree(int n) { tree_mark_[n] = tree_epoch_; }
+  bool is_self_pin(int n) const { return pin_mark_[n] == pin_epoch_; }
+  void mark_self_pin(int n) { pin_mark_[n] = pin_epoch_; }
+
+  /// Min-heap of (f = g + h, node), reused across searches.
+  std::vector<std::pair<int, int>>& heap() { return heap_; }
+  /// Scratch for the nodes a search adds to the tree, reused across nets.
+  std::vector<int>& new_nodes() { return new_nodes_; }
+
+ private:
+  static void bump(std::uint32_t& epoch, std::vector<std::uint32_t>& mark) {
+    if (++epoch == 0) {  // wrapped: stale stamps could alias — hard reset
+      std::fill(mark.begin(), mark.end(), 0u);
+      epoch = 1;
+    }
+  }
+
+  std::vector<int> dist_;
+  std::vector<int> prev_;
+  std::vector<std::uint32_t> search_mark_;
+  std::vector<std::uint32_t> tree_mark_;
+  std::vector<std::uint32_t> pin_mark_;
+  std::uint32_t search_epoch_ = 0, tree_epoch_ = 0, pin_epoch_ = 0;
+  std::vector<std::pair<int, int>> heap_;
+  std::vector<int> new_nodes_;
+};
+
+/// Each pool worker (and the caller) keeps one persistent state; the
+/// routed result never depends on a state's history thanks to the epoch
+/// stamps, so which thread routes which net is invisible in the output.
+RouterSearchState& thread_state() {
+  thread_local RouterSearchState state;
+  return state;
+}
+
+/// Admissible (and consistent) cost-to-go lower bound on the via-cost
+/// grid: every planar step enters a node costing >= 1, reaching the
+/// target's layer takes >= |dL| via edges costing >= via_cost + 1 each,
+/// and a same-layer detour through another layer (needed when movement in
+/// the required direction is impossible on this layer) costs two more via
+/// edges.  See DESIGN.md §15 for the admissibility argument.
+int heuristic(const Grid& g, int u, int txi, int tyi, int tlayer,
+              int via_cost) {
+  const int dx = std::abs(g.xi_of(u) - txi);
+  const int dy = std::abs(g.yi_of(u) - tyi);
+  const int layer = g.layer_of(u);
+  int h = dx + dy + std::abs(layer - tlayer) * (via_cost + 1);
+  if (layer == tlayer && ((dx > 0 && !g.horizontal(layer)) ||
+                          (dy > 0 && g.horizontal(layer)))) {
+    h += 2 * (via_cost + 1);
+  }
+  return h;
+}
+
+/// A* from the net's current tree (sources, g = 0) to `target`, expanding
+/// only nodes inside `win`.  On success fills st.new_nodes() with the
+/// found path's nodes that are not yet in the tree (source-to-target
+/// order, target included) and returns true.  Reads the shared
+/// usage/history arrays only at nodes inside the window.
+bool astar_connect(const Grid& g, RouterSearchState& st,
+                   const std::vector<int>& tree, int target,
+                   const Window& win, const RouteOptions& opts,
+                   const std::vector<int>& usage,
+                   const std::vector<int>& history,
+                   const std::vector<int>& pin_owner, int self,
+                   int iteration, std::int64_t& expanded) {
+  st.begin_search();
+  auto& heap = st.heap();
+  const int txi = g.xi_of(target), tyi = g.yi_of(target);
+  const int tlayer = g.layer_of(target);
+  const auto h_of = [&](int n) {
+    return heuristic(g, n, txi, tyi, tlayer, opts.via_cost);
+  };
+  const auto push = [&](int n, int d, int from) {
+    st.set(n, d, from);
+    heap.emplace_back(d + h_of(n), n);
+    std::push_heap(heap.begin(), heap.end(), std::greater<>());
+  };
+  const int congestion_penalty = 8 * iteration + 8;
+  const auto node_cost = [&](int n) {
+    int c = 1 + history[n];
+    const int foreign = usage[n] - (st.is_self_pin(n) ? 1 : 0);
+    if (foreign > 0) c += foreign * congestion_penalty;
     return c;
   };
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
-    if (d != dist[u]) continue;
-    if (u == target) break;
+  for (int s : tree) push(s, 0, -1);
+
+  while (!heap.empty()) {
+    const auto [f, u] = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+    heap.pop_back();
+    if (f != st.dist(u) + h_of(u)) continue;  // stale heap entry
+    ++expanded;
+    if (u == target) {
+      // Walk the prev chain back to the tree, collecting the new nodes.
+      auto& fresh = st.new_nodes();
+      fresh.clear();
+      for (int n = target; n != -1 && !st.in_tree(n); n = st.prev(n)) {
+        fresh.push_back(n);
+      }
+      std::reverse(fresh.begin(), fresh.end());
+      return true;
+    }
+    const int d = st.dist(u);
     const int layer = g.layer_of(u);
     const int xi = g.xi_of(u);
     const int yi = g.yi_of(u);
-    auto relax = [&](int v, int extra) {
+    const auto relax = [&](int v, int extra) {
+      // Another net's pin node is a hard obstacle: its owner can never
+      // move it, so a conflict there is unresolvable by negotiation.
+      // Pins exist only on layer 0 and every layer-0 node has a pin-free
+      // via neighbor above, so blocking them cannot trap a net.
+      if (pin_owner[v] >= 0 && pin_owner[v] != self) return;
       const int nd = d + node_cost(v) + extra;
-      if (nd < dist[v]) {
-        dist[v] = nd;
-        prev[v] = u;
-        pq.push({nd, v});
-      }
+      if (!st.visited(v) || nd < st.dist(v)) push(v, nd, u);
     };
     if (g.horizontal(layer)) {
-      if (xi > 0) relax(u - 1, 0);
-      if (xi + 1 < g.nx) relax(u + 1, 0);
+      if (xi > win.x0) relax(u - 1, 0);
+      if (xi < win.x1) relax(u + 1, 0);
     } else {
-      if (yi > 0) relax(u - g.nx, 0);
-      if (yi + 1 < g.ny) relax(u + g.nx, 0);
+      if (yi > win.y0) relax(u - g.nx, 0);
+      if (yi < win.y1) relax(u + g.nx, 0);
     }
     if (layer > 0) relax(u - g.nx * g.ny, opts.via_cost);
     if (layer + 1 < g.layers) relax(u + g.nx * g.ny, opts.via_cost);
   }
-  if (dist[target] == INT32_MAX) return {};
-  std::vector<int> path;
-  for (int u = target; u != -1; u = prev[u]) path.push_back(u);
-  std::reverse(path.begin(), path.end());
-  return path;
+  return false;
 }
 
-/// Convert a set of tree nodes into merged DEF segments + vias.
-void emit_geometry(const Grid& g, const std::vector<int>& tree,
-                   std::int64_t width, DefNet& net) {
-  std::unordered_set<int> in_tree(tree.begin(), tree.end());
-  std::unordered_set<std::int64_t> edge_done;
-  auto edge_key = [](int a, int b) {
-    if (a > b) std::swap(a, b);
-    return (static_cast<std::int64_t>(a) << 32) | static_cast<std::int64_t>(b);
-  };
-  for (int u : tree) {
-    const int layer = g.layer_of(u);
-    // Planar edges: walk maximal runs.
-    const int step = g.horizontal(layer) ? 1 : g.nx;
-    const int nb = u + step;
-    const bool nb_ok = g.horizontal(layer)
-                           ? g.xi_of(u) + 1 < g.nx
-                           : g.yi_of(u) + 1 < g.ny;
-    if (nb_ok && in_tree.contains(nb) && g.layer_of(nb) == layer &&
-        !edge_done.contains(edge_key(u, nb))) {
-      // Extend the run as far as possible.
-      int start = u;
-      while (true) {
-        const int prev_n = start - step;
-        const bool prev_ok = g.horizontal(layer)
-                                 ? g.xi_of(start) > 0
-                                 : g.yi_of(start) > 0;
-        if (prev_ok && in_tree.contains(prev_n) &&
-            g.layer_of(prev_n) == layer &&
-            !edge_done.contains(edge_key(prev_n, start))) {
-          start = prev_n;
-        } else {
-          break;
-        }
-      }
-      int end = start;
-      while (true) {
-        const int next_n = end + step;
-        const bool next_ok = g.horizontal(layer)
-                                 ? g.xi_of(end) + 1 < g.nx
-                                 : g.yi_of(end) + 1 < g.ny;
-        if (next_ok && in_tree.contains(next_n) &&
-            g.layer_of(next_n) == layer) {
-          edge_done.insert(edge_key(end, next_n));
-          end = next_n;
-        } else {
-          break;
-        }
-      }
-      if (start != end) {
-        net.wires.push_back(
-            Segment{g.pos(start), g.pos(end), layer, width});
-      }
+/// Outcome of routing one net inside its window.  Workers fill these
+/// without touching shared state; the caller commits them in fixed net
+/// order after the batch joins.
+struct PassResult {
+  bool ok = false;
+  std::vector<int> path;  // new tree nodes beyond the pins
+  std::int64_t expanded = 0;
+};
+
+/// Route every sink of `t` inside `win` against the current usage and
+/// history.  Pure with respect to shared arrays: reads only nodes inside
+/// the window, writes nothing global.
+PassResult route_net_pass(const Grid& g, const NetTask& t, const Window& win,
+                          const RouteOptions& opts,
+                          const std::vector<int>& usage,
+                          const std::vector<int>& history,
+                          const std::vector<int>& pin_owner, int iteration) {
+  RouterSearchState& st = thread_state();
+  st.prepare(g.nodes());
+  st.begin_net();
+  for (int n : t.distinct_pins) st.mark_self_pin(n);
+
+  PassResult r;
+  std::vector<int> tree = {t.pin_nodes.front()};
+  st.add_tree(tree.front());
+  for (std::size_t pi = 1; pi < t.pin_nodes.size(); ++pi) {
+    const int target = t.pin_nodes[pi];
+    if (st.in_tree(target)) continue;
+    if (!astar_connect(g, st, tree, target, win, opts, usage, history,
+                       pin_owner, static_cast<int>(t.net_index), iteration,
+                       r.expanded)) {
+      return r;  // window too small (cannot happen once it spans the grid)
     }
-    // Vias.
-    if (layer + 1 < g.layers) {
-      const int up = u + g.nx * g.ny;
-      if (in_tree.contains(up) && !edge_done.contains(edge_key(u, up))) {
-        edge_done.insert(edge_key(u, up));
-        net.vias.push_back(DefVia{g.pos(u), layer, layer + 1});
+    for (int n : st.new_nodes()) {
+      st.add_tree(n);
+      tree.push_back(n);
+      // The committed path carries only non-pin nodes: pin nodes are
+      // usage-counted once at init and never ripped, so a pin reached or
+      // crossed by the search must not be counted a second time.
+      if (!st.is_self_pin(n)) r.path.push_back(n);
+    }
+  }
+  r.ok = true;
+  return r;
+}
+
+/// Convert a net's tree (pins + routed nodes) into merged DEF segments and
+/// vias.  Membership is an epoch-stamped flat array instead of a per-net
+/// hash set; a planar segment is emitted once per maximal run (at the run
+/// start), a via once per stacked pair.
+class GeometryEmitter {
+ public:
+  explicit GeometryEmitter(const Grid& g) : g_(g) {
+    mark_.assign(static_cast<std::size_t>(g.nodes()), 0);
+  }
+
+  void emit(const NetTask& t, std::int64_t width, DefNet& net) {
+    if (++epoch_ == 0) {
+      std::fill(mark_.begin(), mark_.end(), 0u);
+      epoch_ = 1;
+    }
+    nodes_.clear();
+    const auto add = [&](int n) {
+      if (mark_[n] != epoch_) {
+        mark_[n] = epoch_;
+        nodes_.push_back(n);
+      }
+    };
+    for (int n : t.pin_nodes) add(n);
+    for (int n : t.path) add(n);
+
+    const auto in_tree = [&](int n) { return mark_[n] == epoch_; };
+    for (const int u : nodes_) {
+      const int layer = g_.layer_of(u);
+      const int step = g_.horizontal(layer) ? 1 : g_.nx;
+      const auto has_planar = [&](int n, int delta) {
+        return g_.horizontal(layer)
+                   ? (delta > 0 ? g_.xi_of(n) + 1 < g_.nx : g_.xi_of(n) > 0)
+                   : (delta > 0 ? g_.yi_of(n) + 1 < g_.ny : g_.yi_of(n) > 0);
+      };
+      // Emit each maximal planar run once, from its low end.
+      if (!(has_planar(u, -1) && in_tree(u - step))) {
+        int end = u;
+        while (has_planar(end, +1) && in_tree(end + step)) end += step;
+        if (end != u) {
+          net.wires.push_back(Segment{g_.pos(u), g_.pos(end), layer, width});
+        }
+      }
+      if (layer + 1 < g_.layers && in_tree(u + g_.nx * g_.ny)) {
+        net.vias.push_back(DefVia{g_.pos(u), layer, layer + 1});
       }
     }
   }
+
+ private:
+  const Grid& g_;
+  std::vector<std::uint32_t> mark_;
+  std::vector<int> nodes_;
+  std::uint32_t epoch_ = 0;
+};
+
+/// The deterministic window-escalation schedule: a net rerouted `c` times
+/// while still congested searches inside its pin bounding box expanded by
+/// margin(c) tracks; margin(0) = window_margin, then x window_escalation
+/// per step, saturating at the full grid.
+Window window_of(const Grid& g, const NetTask& t, const RouteOptions& opts,
+                 bool* full_grid) {
+  std::int64_t m = opts.window_margin;
+  for (int c = 0; c < t.escalations; ++c) {
+    m = std::max<std::int64_t>(m, 1) * opts.window_escalation;
+    if (m >= std::max(g.nx, g.ny)) break;  // saturated
+  }
+  Window w;
+  w.x0 = static_cast<int>(std::max<std::int64_t>(0, t.bb_x0 - m));
+  w.y0 = static_cast<int>(std::max<std::int64_t>(0, t.bb_y0 - m));
+  w.x1 = static_cast<int>(std::min<std::int64_t>(g.nx - 1, t.bb_x1 + m));
+  w.y1 = static_cast<int>(std::min<std::int64_t>(g.ny - 1, t.bb_y1 + m));
+  if (full_grid != nullptr) {
+    *full_grid = w.x0 == 0 && w.y0 == 0 && w.x1 == g.nx - 1 &&
+                 w.y1 == g.ny - 1;
+  }
+  return w;
+}
+
+/// Greedy first-fit coloring of the pending nets' windows into batches of
+/// pairwise-disjoint windows (conservatively at coarse-tile granularity).
+/// Deterministic: depends only on the pending order and the windows.
+/// Nets that do not fit in `kMaxBatches` go to the serial tail.
+struct BatchPlan {
+  std::vector<std::vector<std::size_t>> batches;  // indices into pending
+  std::vector<std::size_t> serial_tail;
+};
+
+BatchPlan plan_batches(const Grid& g, const std::vector<Window>& windows,
+                       std::size_t n_pending) {
+  constexpr std::size_t kMaxBatches = 32;
+  constexpr int kTile = 32;  // grid cells per tile edge
+  const int tx = (g.nx + kTile - 1) / kTile;
+  const int ty = (g.ny + kTile - 1) / kTile;
+  const std::size_t words =
+      (static_cast<std::size_t>(tx) * static_cast<std::size_t>(ty) + 63) / 64;
+
+  BatchPlan plan;
+  std::vector<std::vector<std::uint64_t>> occupancy;
+  for (std::size_t i = 0; i < n_pending; ++i) {
+    const Window& w = windows[i];
+    const int tx0 = w.x0 / kTile, tx1 = w.x1 / kTile;
+    const int ty0 = w.y0 / kTile, ty1 = w.y1 / kTile;
+    const auto tiles_clear = [&](const std::vector<std::uint64_t>& occ) {
+      for (int yt = ty0; yt <= ty1; ++yt) {
+        for (int xt = tx0; xt <= tx1; ++xt) {
+          const std::size_t bit =
+              static_cast<std::size_t>(yt) * static_cast<std::size_t>(tx) +
+              static_cast<std::size_t>(xt);
+          if ((occ[bit >> 6] >> (bit & 63)) & 1u) return false;
+        }
+      }
+      return true;
+    };
+    const auto tiles_set = [&](std::vector<std::uint64_t>& occ) {
+      for (int yt = ty0; yt <= ty1; ++yt) {
+        for (int xt = tx0; xt <= tx1; ++xt) {
+          const std::size_t bit =
+              static_cast<std::size_t>(yt) * static_cast<std::size_t>(tx) +
+              static_cast<std::size_t>(xt);
+          occ[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+        }
+      }
+    };
+    bool placed = false;
+    for (std::size_t b = 0; b < plan.batches.size(); ++b) {
+      if (tiles_clear(occupancy[b])) {
+        tiles_set(occupancy[b]);
+        plan.batches[b].push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed && plan.batches.size() < kMaxBatches) {
+      occupancy.emplace_back(words, 0u);
+      tiles_set(occupancy.back());
+      plan.batches.emplace_back(1, i);
+      placed = true;
+    }
+    if (!placed) plan.serial_tail.push_back(i);
+  }
+  return plan;
 }
 
 }  // namespace
@@ -186,7 +435,10 @@ RouteStats route_design(const Netlist& nl, const LefLibrary& lef,
   std::unordered_set<std::string> skip(opts.skip_nets.begin(),
                                        opts.skip_nets.end());
 
-  // Pin landing nodes, with conflict-avoiding neighbour search on M1.
+  // Pin landing nodes, with conflict-avoiding spiral search on M1.  The
+  // radius escalates deterministically until a free node is found or the
+  // whole grid has been scanned.  The owner array lives on after landing:
+  // the search treats foreign-owned pin nodes as hard obstacles.
   std::vector<int> owner(static_cast<std::size_t>(g.nodes()), -1);
   std::vector<NetTask> tasks;
   std::unordered_map<std::string, std::size_t> net_index;
@@ -210,97 +462,209 @@ RouteStats route_design(const Netlist& nl, const LefLibrary& lef,
           type.pins[static_cast<std::size_t>(p.pin)].name);
       const int base_xi = g.snap_xi(pos.x);
       const int base_yi = g.snap_yi(pos.y);
-      // Spiral search for a node free or already ours.
       int found = -1;
-      for (int r = 0; r < 4 && found < 0; ++r) {
+      int occupied = 0;
+      const int r_max = std::max(g.nx, g.ny);
+      for (int r = 0; r <= r_max && found < 0; ++r) {
         for (int dx = -r; dx <= r && found < 0; ++dx) {
           for (int dy = -r; dy <= r && found < 0; ++dy) {
             if (std::max(std::abs(dx), std::abs(dy)) != r) continue;
             const int xi = base_xi + dx, yi = base_yi + dy;
             if (xi < 0 || xi >= g.nx || yi < 0 || yi >= g.ny) continue;
             const int node = g.node(0, xi, yi);
-            if (owner[node] == -1 || owner[node] == self) found = node;
+            if (owner[node] == -1 || owner[node] == self) {
+              found = node;
+            } else {
+              ++occupied;
+            }
           }
         }
       }
-      SECFLOW_CHECK(found >= 0, "no free pin landing near " + net.name);
+      SECFLOW_CHECK(
+          found >= 0,
+          "no free pin landing for net " + net.name + ": every M1 node of "
+          "the " + std::to_string(g.nx) + "x" + std::to_string(g.ny) +
+          " grid near (" + std::to_string(pos.x) + ", " +
+          std::to_string(pos.y) + ") is owned by another net (" +
+          std::to_string(occupied) + " occupied nodes scanned)");
       owner[found] = self;
       task.pin_nodes.push_back(found);
+    }
+    task.distinct_pins = task.pin_nodes;
+    std::sort(task.distinct_pins.begin(), task.distinct_pins.end());
+    task.distinct_pins.erase(
+        std::unique(task.distinct_pins.begin(), task.distinct_pins.end()),
+        task.distinct_pins.end());
+    task.bb_x0 = g.nx - 1;
+    task.bb_y0 = g.ny - 1;
+    task.bb_x1 = task.bb_y1 = 0;
+    for (int n : task.distinct_pins) {
+      task.bb_x0 = std::min(task.bb_x0, g.xi_of(n));
+      task.bb_x1 = std::max(task.bb_x1, g.xi_of(n));
+      task.bb_y0 = std::min(task.bb_y0, g.yi_of(n));
+      task.bb_y1 = std::max(task.bb_y1, g.yi_of(n));
     }
     tasks.push_back(std::move(task));
   }
 
-  // Negotiated congestion loop.
+  // Incrementally maintained congestion state: usage counts every net's
+  // distinct pin nodes once, plus every node of every committed path.
   std::vector<int> usage(static_cast<std::size_t>(g.nodes()), 0);
   std::vector<int> history(static_cast<std::size_t>(g.nodes()), 0);
-  // Pin nodes always count as used by their net.
-  auto reset_usage = [&] {
-    std::fill(usage.begin(), usage.end(), 0);
-    for (const NetTask& t : tasks) {
-      for (int n : t.pin_nodes) ++usage[n];
-    }
-  };
+  for (const NetTask& t : tasks) {
+    for (int n : t.distinct_pins) ++usage[n];
+  }
 
   RouteStats stats;
-  bool converged = false;
-  std::vector<std::size_t> order(tasks.size());
-  for (std::size_t i = 0; i < tasks.size(); ++i) order[i] = i;
+  bool converged = tasks.empty();
+  // Pending nets for the current iteration (all of them initially; after
+  // an iteration only the nets overlapping shared nodes — unless
+  // incremental is off, which restores the reroute-everything loop).
+  std::vector<std::size_t> pending(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) pending[i] = i;
+  std::vector<char> was_pending(tasks.size(), 0);
+
   for (int iter = 0; iter < opts.max_iterations && !converged; ++iter) {
     Span iter_span("route.iteration", "pnr");
     iter_span.arg("iter", iter);
+    iter_span.arg("pending", static_cast<int>(pending.size()));
     stats.iterations = iter + 1;
-    reset_usage();
-    std::vector<int> node_net(static_cast<std::size_t>(g.nodes()), -1);
-    for (const NetTask& t : tasks) {
-      for (int n : t.pin_nodes) node_net[n] = static_cast<int>(t.net_index);
+    if (iter > 0) {
+      stats.nets_ripped += static_cast<std::int64_t>(pending.size());
+      // Rotate the reroute order so no net permanently wins ties.
+      std::rotate(pending.begin(), pending.begin() + 1 + (pending.size() / 3),
+                  pending.end());
     }
-    // Rotate the routing order so no net permanently wins ties.
-    if (iter > 0 && !order.empty()) {
-      std::rotate(order.begin(), order.begin() + 1 + (order.size() / 3),
-                  order.end());
+
+    // Window per pending net under the escalation schedule.
+    std::vector<Window> windows(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const NetTask& t = tasks[pending[i]];
+      bool full_grid = false;
+      windows[i] = window_of(g, t, opts, &full_grid);
+      if (t.escalations > 0) ++stats.window_escalations;
+      if (full_grid) ++stats.full_grid_searches;
     }
-    for (std::size_t oi : order) {
-      NetTask& t = tasks[oi];
-      const int self = static_cast<int>(t.net_index);
-      t.path.clear();  // usage was reset; paths rebuild from scratch
-      std::vector<int> tree = {t.pin_nodes.front()};
-      std::unordered_set<int> tree_set(tree.begin(), tree.end());
-      for (std::size_t pi = 1; pi < t.pin_nodes.size(); ++pi) {
-        const int target = t.pin_nodes[pi];
-        if (tree_set.contains(target)) continue;
-        const std::vector<int> path = shortest_path(
-            g, tree, target, opts, usage, history, node_net, self, iter);
-        SECFLOW_CHECK(!path.empty(),
-                      "maze router: unreachable pin on net " +
-                          placed.nets[t.net_index].name);
-        for (int n : path) {
-          if (tree_set.insert(n).second) {
-            tree.push_back(n);
-            t.path.push_back(n);
-            ++usage[n];
-            if (node_net[n] == -1) node_net[n] = self;
-          }
+
+    const auto rip = [&](NetTask& t) {
+      for (int n : t.path) --usage[n];
+      t.path.clear();
+    };
+    const auto commit = [&](PassResult& r, NetTask& t) {
+      SECFLOW_CHECK(r.ok, "maze router: unreachable pin on net " +
+                              placed.nets[t.net_index].name);
+      stats.expanded_nodes += r.expanded;
+      for (int n : r.path) ++usage[n];
+      t.path = std::move(r.path);
+    };
+
+    // Batch-parallel routing: each batch's nets have pairwise-disjoint
+    // windows, so routing them concurrently reads/writes disjoint node
+    // sets and the committed result is bit-identical to routing them one
+    // by one.  Commit happens serially in batch order after the join.
+    const auto route_one = [&](std::size_t pi) {
+      return route_net_pass(g, tasks[pending[pi]], windows[pi], opts,
+                            usage, history, owner, iter);
+    };
+    if (opts.incremental) {
+      // Rip every pending net before any search starts, so the usage the
+      // searches read is independent of the order within this iteration
+      // and the whole iteration routes against one clean snapshot.  Nets
+      // take their simultaneous shortest paths and negotiate purely
+      // through history — which keeps the converged geometry straight and
+      // loosely packed, a property the differential decomposition's rail
+      // balance depends on (DESIGN.md §15).
+      for (std::size_t ti : pending) rip(tasks[ti]);
+
+      // Batch-parallel routing: each batch's nets have pairwise-disjoint
+      // windows, so routing them concurrently reads/writes disjoint node
+      // sets and the committed result is bit-identical to routing them
+      // one by one.  Commit happens serially in batch order after the
+      // join.
+      const BatchPlan plan = plan_batches(g, windows, pending.size());
+      for (std::size_t b = 0; b < plan.batches.size(); ++b) {
+        Span batch_span("route.batch", "pnr");
+        batch_span.arg("iter", iter);
+        batch_span.arg("batch", static_cast<int>(b));
+        batch_span.arg("nets", static_cast<int>(plan.batches[b].size()));
+        const std::vector<std::size_t>& batch = plan.batches[b];
+        std::vector<PassResult> results;
+        if (batch.size() > 1) {
+          results = parallel_map(batch.size(), opts.parallelism,
+                                 [&](std::size_t k) {
+                                   return route_one(batch[k]);
+                                 });
+        } else {
+          results.push_back(route_one(batch.front()));
+        }
+        for (std::size_t k = 0; k < batch.size(); ++k) {
+          commit(results[k], tasks[pending[batch[k]]]);
         }
       }
+      if (!plan.serial_tail.empty()) {
+        // The tail routes against the same pre-rip snapshot as the
+        // batches (routes first, commits after), so whether a net landed
+        // in a batch or the tail does not change what its search sees.
+        Span tail_span("route.serial_tail", "pnr");
+        tail_span.arg("nets", static_cast<int>(plan.serial_tail.size()));
+        std::vector<PassResult> results;
+        results.reserve(plan.serial_tail.size());
+        for (std::size_t pi : plan.serial_tail) {
+          results.push_back(route_one(pi));
+        }
+        for (std::size_t k = 0; k < plan.serial_tail.size(); ++k) {
+          commit(results[k], tasks[pending[plan.serial_tail[k]]]);
+        }
+      }
+    } else {
+      // Non-incremental mode reroutes every net each iteration with
+      // one-at-a-time negotiation: each net is ripped just before its
+      // search and committed right after, so it routes against everyone
+      // else's current path.  Serial and trivially deterministic; this is
+      // the reference loop the bench compares the incremental router to.
+      Span span("route.serial_reroute", "pnr");
+      span.arg("nets", static_cast<int>(pending.size()));
+      for (std::size_t pi = 0; pi < pending.size(); ++pi) {
+        NetTask& t = tasks[pending[pi]];
+        rip(t);
+        PassResult r = route_one(pi);
+        commit(r, t);
+      }
     }
-    // Check for sharing.
-    converged = true;
+
+    // Sharing check: one linear pass over the usage array (a node is
+    // shared when more than one net occupies it; pins are unique per net
+    // by construction, so usage > 1 always means a genuine conflict).
     int shared = 0;
-    std::unordered_map<int, int> seen;  // node -> net
-    for (const NetTask& t : tasks) {
-      for (int n : t.pin_nodes) seen.emplace(n, static_cast<int>(t.net_index));
-    }
-    for (const NetTask& t : tasks) {
-      for (int n : t.path) {
-        const auto [it, inserted] =
-            seen.emplace(n, static_cast<int>(t.net_index));
-        if (!inserted && it->second != static_cast<int>(t.net_index)) {
-          converged = false;
-          ++shared;
-          history[n] += 1 + iter / 2;
-        }
+    for (int n = 0; n < g.nodes(); ++n) {
+      if (usage[n] > 1) {
+        ++shared;
+        history[n] += 1 + iter / 2;
       }
     }
+    converged = shared == 0;
+
+    // Next iteration's pending set: the nets touching a shared node (or
+    // everyone when incremental is off).  A net that was just rerouted
+    // and is still congested escalates its window.
+    if (!converged) {
+      std::fill(was_pending.begin(), was_pending.end(), 0);
+      for (std::size_t ti : pending) was_pending[ti] = 1;
+      pending.clear();
+      for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+        NetTask& t = tasks[ti];
+        const auto overused = [&](const std::vector<int>& nodes) {
+          for (int n : nodes) {
+            if (usage[n] > 1) return true;
+          }
+          return false;
+        };
+        const bool congested = overused(t.distinct_pins) || overused(t.path);
+        if (congested && was_pending[ti]) ++t.escalations;
+        if (congested || !opts.incremental) pending.push_back(ti);
+      }
+    }
+
     iter_span.arg("shared_nodes", shared);
     Metrics::global().add("pnr.route.iterations");
     Metrics::global().add("pnr.route.shared_nodes",
@@ -308,22 +672,28 @@ RouteStats route_design(const Netlist& nl, const LefLibrary& lef,
     // verbose promotes the per-iteration line to info; silent by default.
     SECFLOW_LOG_AT(opts.verbose ? LogLevel::kInfo : LogLevel::kDebug, "pnr",
                    "route iteration", LogField("iter", iter),
-                   LogField("shared_nodes", shared));
+                   LogField("shared_nodes", shared),
+                   LogField("pending", static_cast<int>(pending.size())));
   }
   SECFLOW_CHECK(converged, "routing failed to converge (congestion)");
 
   // Emit geometry.
+  GeometryEmitter emitter(g);
   for (const NetTask& t : tasks) {
-    std::vector<int> tree = t.pin_nodes;
-    tree.insert(tree.end(), t.path.begin(), t.path.end());
     DefNet& net = placed.nets[t.net_index];
-    emit_geometry(g, tree, width, net);
+    emitter.emit(t, width, net);
     stats.wirelength_dbu += net.total_wirelength();
     stats.vias += static_cast<int>(net.vias.size());
     ++stats.nets_routed;
   }
   Metrics::global().add("pnr.route.nets_routed",
                         static_cast<std::uint64_t>(stats.nets_routed));
+  Metrics::global().add("pnr.route.expanded_nodes",
+                        static_cast<std::uint64_t>(stats.expanded_nodes));
+  Metrics::global().add("pnr.route.window_escalations",
+                        static_cast<std::uint64_t>(stats.window_escalations));
+  Metrics::global().add("pnr.route.ripped_nets",
+                        static_cast<std::uint64_t>(stats.nets_ripped));
   return stats;
 }
 

@@ -6,14 +6,24 @@
 // "fat wire" trick falls out of just swapping the library (section 2.2).
 //
 // Layers: M1/M3 horizontal, M2 vertical.  Negotiated-congestion routing
-// (PathFinder-style): all nets are routed each iteration with rising
-// penalties on shared nodes until no node is shared.
+// (PathFinder-style) with a throughput-oriented core (DESIGN.md §15):
+//  * allocation-free A* search over persistent epoch-stamped state — no
+//    per-sink full-grid refills, admissible Manhattan + via lower bound;
+//  * bounded search windows around each net's pin bounding box, grown on
+//    a deterministic escalation schedule until they cover the full grid;
+//  * incremental rip-up-and-reroute — after the first iteration only nets
+//    overlapping congested nodes are ripped, usage is maintained
+//    incrementally;
+//  * deterministic parallel net routing — spatially disjoint window
+//    batches routed concurrently, committed in fixed net order, so the
+//    routed geometry is bit-identical at any SECFLOW_THREADS.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "base/parallel.h"
 #include "netlist/netlist.h"
 #include "pnr/def.h"
 
@@ -22,6 +32,24 @@ namespace secflow {
 struct RouteOptions {
   int via_cost = 3;
   int max_iterations = 48;
+  /// Initial search-window margin in tracks around a net's pin bounding
+  /// box (0 = the bounding box itself).  A net that stays congested after
+  /// a reroute has its margin multiplied by `window_escalation` before the
+  /// next attempt, saturating at the full grid, so window pruning never
+  /// costs completeness — only early-iteration search breadth.
+  int window_margin = 64;
+  /// Multiplier applied to the window margin per escalation step (>= 2).
+  int window_escalation = 4;
+  /// After the first full iteration, rip up and reroute only the nets that
+  /// overlap congested (shared) nodes instead of every net; every
+  /// iteration routes batch-parallel against one pre-rip usage snapshot.
+  /// Off = the classic serial reroute-everything loop where each net is
+  /// ripped just before its search and negotiates against everyone
+  /// else's live path (the bench's A/B reference).
+  bool incremental = true;
+  /// Threads for in-iteration batch routing; 0 = auto (SECFLOW_THREADS,
+  /// else hardware).  Results are bit-identical at any thread count.
+  Parallelism parallelism;
   /// Print per-iteration congestion to stderr (debugging).
   bool verbose = false;
   /// Nets to skip entirely (e.g. power; empty by default).
@@ -33,6 +61,15 @@ struct RouteStats {
   int vias = 0;
   int nets_routed = 0;
   int iterations = 0;
+  /// A* node expansions (heap pops) across all searches — the router's
+  /// work metric; window pruning shows up here first.
+  std::int64_t expanded_nodes = 0;
+  /// Net reroutes attempted with an escalated (grown) window.
+  int window_escalations = 0;
+  /// Net routing passes whose window saturated at the full grid.
+  int full_grid_searches = 0;
+  /// Nets ripped up and rerouted after the first iteration.
+  std::int64_t nets_ripped = 0;
 };
 
 /// Route all multi-pin nets of `nl` into `placed` (wires filled in).

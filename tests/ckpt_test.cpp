@@ -238,6 +238,10 @@ TEST(Serialize, SmallStructsRoundTrip) {
   rs.vias = 42;
   rs.nets_routed = 7;
   rs.iterations = 3;
+  rs.expanded_nodes = 987654321098ll;
+  rs.window_escalations = 11;
+  rs.full_grid_searches = 2;
+  rs.nets_ripped = 5001;
   expect_second_generation_identical(rs, write_route_stats,
                                      parse_route_stats);
   EXPECT_EQ(parse_route_stats(write_route_stats(rs)).wirelength_dbu,
@@ -288,9 +292,10 @@ TEST(Serialize, ParsersRejectMalformedInput) {
   // Truncated mid-record.
   EXPECT_THROW(parse_cap_table("CAPTABLE 2\nCAP x 1.0\n"), ParseError);
   EXPECT_THROW(parse_extraction("EXTRACTION 1\nNET n 1 2 3"), ParseError);
-  EXPECT_THROW(parse_route_stats("ROUTESTATS 1 2 3"), ParseError);
+  EXPECT_THROW(parse_route_stats("ROUTESTATS 1 2 3 4 5"), ParseError);
   // Trailing garbage.
-  EXPECT_THROW(parse_route_stats("ROUTESTATS 1 2 3 4 5\n"), ParseError);
+  EXPECT_THROW(parse_route_stats("ROUTESTATS 1 2 3 4 5 6 7 8 9\n"),
+               ParseError);
   // Non-boolean flag.
   EXPECT_THROW(parse_lec_result("LEC 2 0 0\n"), ParseError);
   // Bad sized-string framing.
@@ -388,10 +393,22 @@ TEST(Fingerprint, TracksContentNotThreads) {
   RouteOptions r1, r2;
   r2.verbose = true;
   EXPECT_EQ(fingerprint(r1), fingerprint(r2));  // logging excluded
+  r2.parallelism.n_threads = 8;
+  EXPECT_EQ(fingerprint(r1), fingerprint(r2));  // threads excluded: the
+  // routed geometry is bit-identical at any thread count
   r2.via_cost = r1.via_cost + 1;
   EXPECT_NE(fingerprint(r1), fingerprint(r2));
   r2 = r1;
   r2.skip_nets = {"VSS"};
+  EXPECT_NE(fingerprint(r1), fingerprint(r2));
+  r2 = r1;
+  r2.window_margin += 1;  // search schedule changes the geometry
+  EXPECT_NE(fingerprint(r1), fingerprint(r2));
+  r2 = r1;
+  r2.window_escalation += 1;
+  EXPECT_NE(fingerprint(r1), fingerprint(r2));
+  r2 = r1;
+  r2.incremental = false;
   EXPECT_NE(fingerprint(r1), fingerprint(r2));
 
   ExtractOptions e1, e2;

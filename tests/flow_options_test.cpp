@@ -71,6 +71,24 @@ TEST(FlowOptionsValidate, ExtractionRanges) {
   expect_invalid(o, "variation_sigma");
 }
 
+TEST(FlowOptionsValidate, RoutingRanges) {
+  FlowOptions o;
+  o.route.max_iterations = 0;
+  expect_invalid(o, "max_iterations");
+
+  o = FlowOptions{};
+  o.route.window_margin = -1;
+  expect_invalid(o, "window_margin");
+  o.route.window_margin = 0;  // boundary: legal (pin bounding box itself)
+  EXPECT_NO_THROW(o.validate());
+
+  o = FlowOptions{};
+  o.route.window_escalation = 1;  // a non-growing window never escapes
+  expect_invalid(o, "window_escalation");
+  o.route.window_escalation = 2;  // boundary: legal
+  EXPECT_NO_THROW(o.validate());
+}
+
 TEST(FlowOptionsValidate, ThreadCounts) {
   FlowOptions o;
   o.parallelism.n_threads = -1;
@@ -80,6 +98,9 @@ TEST(FlowOptionsValidate, ThreadCounts) {
   expect_invalid(o, "thread");
   o = FlowOptions{};
   o.extract.parallelism.n_threads = -1;
+  expect_invalid(o, "thread");
+  o = FlowOptions{};
+  o.route.parallelism.n_threads = -2;
   expect_invalid(o, "thread");
   o = FlowOptions{};
   o.parallelism.n_threads = 16;  // explicit counts are fine

@@ -104,7 +104,7 @@ TEST_F(DesFlows, RailCapacitancesAreMatched) {
 
 TEST_F(DesFlows, EnergySignatureShapes) {
   DesDpaSetup setup;
-  setup.n_measurements = 150;
+  setup.n_measurements = 700;
   const auto ref =
       run_des_dpa_campaign(regular_->rtl, regular_->caps, setup, false);
   const auto sec =
@@ -176,7 +176,7 @@ TEST_F(DesFlows, ReferenceLeaksMoreThanSecure) {
   // the reference design dominates its wrong-guess band; the secure
   // design's correct-key peak does not.
   DesDpaSetup setup;
-  setup.n_measurements = 700;
+  setup.n_measurements = 1600;
   const DpaAnalysis ref =
       run_des_dpa_regular(regular_->rtl, regular_->caps, setup);
   const DpaAnalysis sec =
